@@ -1,0 +1,68 @@
+"""META — Simulator throughput: references per second, per model.
+
+Not a paper claim, but the practical question for users of this
+reproduction ("simulator easy though slow on large traces"): how fast
+does each memory system replay a reference stream?  Timed with
+pytest-benchmark over a pre-generated trace so only the simulation loop
+is measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import benchout
+from repro.analysis.report import format_table
+from repro.core.rights import Rights
+from repro.os.kernel import MODELS, Kernel
+from repro.sim.machine import Machine
+from repro.workloads.tracegen import RefPattern, TraceGenerator
+
+REFS = 5_000
+
+
+def build(model: str):
+    kernel = Kernel(model)
+    machine = Machine(kernel)
+    domain = kernel.create_domain("app")
+    segment = kernel.create_segment("data", 32)
+    kernel.attach(domain, segment, Rights.RW)
+    gen = TraceGenerator(99, kernel.params)
+    refs = list(gen.refs(domain.pd_id, segment, REFS, RefPattern()))
+    return machine, domain, refs
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_replay_throughput(benchmark, model):
+    machine, domain, refs = build(model)
+
+    def replay():
+        for ref in refs:
+            machine.touch(domain, ref.vaddr, ref.access)
+
+    benchmark.pedantic(replay, rounds=3, iterations=1)
+    stats = machine.stats
+    assert stats["refs"] >= 3 * REFS
+
+
+def test_report_throughput(benchmark):
+    import time
+
+    def measure():
+        rows = []
+        for model in MODELS:
+            machine, domain, refs = build(model)
+            start = time.perf_counter()
+            for ref in refs:
+                machine.touch(domain, ref.vaddr, ref.access)
+            elapsed = time.perf_counter() - start
+            rows.append([model, REFS, f"{REFS / elapsed / 1000:.0f}k refs/s"])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchout.record(
+        "Simulator throughput (pure replay loop)",
+        format_table(["model", "refs", "throughput"], rows,
+                     title="Wall-clock simulation speed per memory system"),
+    )
+    assert len(rows) == 3

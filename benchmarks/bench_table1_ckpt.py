@@ -1,0 +1,70 @@
+"""T1-CKPT — Table 1 rows 11-12: Concurrent Checkpoint.
+
+Paper prediction: restricting access is a PLB sweep versus a pair of
+group operations (write-disable + a fresh read-write group); each
+checkpointed page is one PLB update versus one page-group move.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import benchout
+from repro.analysis.report import format_table, ratio
+from repro.analysis.table1 import run_checkpoint
+from repro.os.kernel import MODELS, Kernel
+from repro.workloads.checkpoint import CheckpointConfig, ConcurrentCheckpoint
+
+CONFIG = CheckpointConfig(
+    segment_pages=48, checkpoints=3, refs_per_checkpoint=900, seed=23
+)
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_checkpoint_workload(benchmark, model):
+    def run():
+        return ConcurrentCheckpoint(Kernel(model), CONFIG).run()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.pages_checkpointed == CONFIG.segment_pages * CONFIG.checkpoints
+
+
+def test_report_table1_ckpt(benchmark):
+    result = benchmark.pedantic(lambda: run_checkpoint(CONFIG), rounds=1, iterations=1)
+    rows = []
+    for model, stats in result.stats_by_model.items():
+        summary = result.summary_by_model[model]
+        pages = summary["pages_checkpointed"]
+        rows.append(
+            [
+                model,
+                summary["checkpoints"],
+                pages,
+                summary["cow_faults"],
+                round(ratio(stats["plb.sweep_inspected"], CONFIG.checkpoints), 1),
+                round(ratio(stats["plb.update"], pages), 2),
+                round(ratio(stats["pgtlb.update"], pages), 2),
+                stats["disk.write"],
+            ]
+        )
+    benchout.record(
+        "Table 1 rows 11-12: Concurrent Checkpoint",
+        result.render()
+        + "\n\n"
+        + format_table(
+            [
+                "model",
+                "checkpoints",
+                "pages written",
+                "COW faults",
+                "PLB inspections / restrict",
+                "PLB updates / page",
+                "TLB updates / page",
+                "disk writes",
+            ],
+            rows,
+            title="Restrict-access and checkpoint-page costs",
+        ),
+    )
+    disk = {s["disk.write"] for s in result.stats_by_model.values()}
+    assert len(disk) == 1  # identical checkpoint work across models

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Copy-on-write in a single address space (the paper's footnote 4).
+
+"Copy-on-write uses read-only synonyms which do not have to be kept
+coherent.  As soon as a write occurs to one copy of an address, the
+page is copied, and the synonym no longer exists."
+
+A writer domain owns a data segment; a logical copy is created at a
+*fresh* global address (names are never reused in a SASOS), sharing the
+original's physical frames read-only.  Reads on either side cost
+nothing; the first write to a page breaks its share, and only then is a
+frame copied.
+
+Run:  python examples/copy_on_write.py
+"""
+
+from __future__ import annotations
+
+from repro.core.rights import Rights
+from repro.os.cow import CopyOnWriteManager
+from repro.os.kernel import Kernel
+from repro.sim.machine import Machine
+
+
+def main() -> None:
+    kernel = Kernel("plb", system_options={"detect_hazards": True, "cache_ways": 2})
+    machine = Machine(kernel)
+    cow = CopyOnWriteManager(kernel)
+
+    writer = kernel.create_domain("writer")
+    reader = kernel.create_domain("reader")
+    source = kernel.create_segment("dataset", 8)
+    cow.attach(writer, source, Rights.RW)
+    for vpn in source.vpns():
+        kernel.memory.write_page(
+            kernel.translations.pfn_for(vpn), b"version-1" + bytes(64)
+        )
+
+    copy = cow.create_copy(source, "dataset-snapshot")
+    cow.attach(reader, copy, Rights.READ)
+    print(f"source at VPN {source.base_vpn:#x}, snapshot at VPN "
+          f"{copy.base_vpn:#x} — distinct global names, shared frames")
+    print(f"pages shared: {kernel.stats['cow.pages_shared']}, "
+          f"frames in use: {kernel.memory.used_frames}")
+
+    # Both sides read freely; no copying happens.
+    machine.read(writer, kernel.params.vaddr(source.base_vpn))
+    machine.read(reader, kernel.params.vaddr(copy.base_vpn))
+    print(f"after reads: pages copied = {kernel.stats['cow.pages_copied']}, "
+          f"read-only synonyms observed in the VIVT cache = "
+          f"{kernel.stats['dcache.synonym_hazard']} (harmless: nothing dirty)")
+
+    # The writer updates two pages: exactly two frames get copied.
+    for index in (0, 1):
+        machine.write(writer, kernel.params.vaddr(source.vpn_at(index)))
+    print(f"after 2 writes: COW faults broke {kernel.stats['cow.breaks']} "
+          f"shares, pages copied = {kernel.stats['cow.pages_copied']}")
+
+    # The snapshot still reads version-1 data.
+    data = kernel.memory.read_page(kernel.translations.pfn_for(copy.base_vpn))
+    print(f"snapshot page 0 still reads: {data[:9].decode()}")
+    assert data.startswith(b"version-1")
+    print(f"remaining shared pages: "
+          f"{sum(1 for vpn in copy.vpns() if cow.is_shared(vpn))} of {len(copy)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Distributed shared virtual memory across SASOS nodes (Table 1 DSM rows).
+
+Four nodes share a segment that lives at the *same* global virtual
+address everywhere — the distributed single address space of Carter et
+al. that the paper cites.  A Li-style directory protocol moves pages:
+read faults fetch shared copies, write faults take exclusive ownership
+and invalidate the others.  Every coherence verb is a protection
+operation, so the models' costs diverge while the traffic is identical.
+
+Run:  python examples/distributed_memory.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.workloads.dsm import DSMCluster, SHARED_BASE_VPN
+
+
+def main() -> None:
+    rows = []
+    for model in ("plb", "pagegroup", "conventional"):
+        cluster = DSMCluster(model, nodes=4, pages=16, seed=3)
+        stats = cluster.run_migratory(rounds=2, refs_per_round=200)
+        stats.merge(cluster.run_producer_consumer(iterations=4, region_pages=6))
+        rows.append(
+            [
+                model,
+                stats["dsm.get_readable"],
+                stats["dsm.get_writable"],
+                stats["dsm.msg.invalidate"],
+                stats["plb.update"] + stats["plb.sweep_updated"],
+                stats["pgtlb.update"],
+                stats["asidtlb.update"],
+            ]
+        )
+    print("shared segment pinned at global VPN "
+          f"{SHARED_BASE_VPN:#x} on every node\n")
+    print(
+        format_table(
+            [
+                "model",
+                "get_readable",
+                "get_writable",
+                "invalidates",
+                "PLB rights updates",
+                "AID-TLB updates",
+                "ASID-TLB updates",
+            ],
+            rows,
+            title="DSM over 4 nodes: same coherence traffic, "
+            "different protection mechanics",
+        )
+    )
+    print(
+        "\nTable 1's DSM rows in action: 'Get Readable' sets read-only\n"
+        "rights, 'Get Writable' invalidates remote copies and grants\n"
+        "read-write, 'Invalidate' sets rights to none — one PLB entry\n"
+        "per domain versus one rights+group TLB update per page."
+    )
+
+
+if __name__ == "__main__":
+    main()

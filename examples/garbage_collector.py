@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Concurrent garbage collection via VM protection (Table 1, GC rows).
+
+An Appel-Ellis-Li collector runs beside a mutator: after a flip, the
+mutator faults on unscanned to-space pages, the collector scans them
+(forwarding live data out of from-space) and opens them page by page.
+The example runs the full protocol under each protection model and
+reports what the flip and the scans cost each one.
+
+Run:  python examples/garbage_collector.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.costs import cycles_for
+from repro.os.kernel import Kernel
+from repro.workloads.gc import ConcurrentGC, GCConfig
+
+
+def main() -> None:
+    config = GCConfig(
+        heap_pages=32,
+        collections=3,
+        mutator_refs_per_cycle=1_000,
+        survivor_fraction=0.5,
+        seed=1992,
+    )
+    rows = []
+    for model in ("plb", "pagegroup", "conventional"):
+        gc = ConcurrentGC(Kernel(model), config)
+        report = gc.run()
+        stats = report.stats
+        rows.append(
+            [
+                model,
+                report.collections,
+                report.pages_scanned,
+                report.scan_faults,
+                stats["plb.sweep_inspected"],
+                stats["plb.update"],
+                stats["pgtlb.update"],
+                stats["group_reload"],
+                cycles_for(stats),
+            ]
+        )
+        print(f"{model}: {report.collections} collections, "
+              f"{report.pages_scanned} pages scanned on "
+              f"{report.scan_faults} mutator faults")
+
+    print()
+    print(
+        format_table(
+            [
+                "model",
+                "GCs",
+                "pages scanned",
+                "scan faults",
+                "PLB sweep inspections",
+                "PLB updates",
+                "AID-TLB updates",
+                "group reloads",
+                "weighted cycles",
+            ],
+            rows,
+            title="Concurrent GC: identical protocol, different hardware bills",
+        )
+    )
+    print(
+        "\nPaper's Table 1 contrast: the flip is a PLB sweep on the "
+        "domain-page model,\nversus page-group cache add/remove on the "
+        "PA-RISC model; each scanned page is\none per-domain PLB update "
+        "versus one page-to-group move."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Cross-domain RPC and the cost of protection-domain switches (§4.1.4).
+
+A client and a server ping-pong through a shared argument segment — the
+SASOS equivalent of an LRPC-style fast path, where arguments are passed
+by *reference* into memory both domains can address.  The paper's
+headline claim: on a PLB system the switch is one register write; on
+the page-group system every switch purges the group cache and reloads
+the new domain's working set of groups.
+
+Run:  python examples/rpc_server.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.costs import cycles_for
+from repro.os.kernel import Kernel
+from repro.workloads.rpc import RPCConfig, RPCWorkload
+
+
+def run(model: str, **system_options):
+    config = RPCConfig(calls=100, arg_pages=2, private_segments=5, private_pages=2)
+    kernel = Kernel(model, system_options=system_options or None)
+    return RPCWorkload(kernel, config).run()
+
+
+def main() -> None:
+    configs = [
+        ("plb", run("plb")),
+        ("pagegroup (lazy reload)", run("pagegroup")),
+        ("pagegroup (eager reload)", run("pagegroup", eager_reload=True)),
+        ("conventional (ASID-tagged)", run("conventional")),
+        ("conventional (untagged)", run("conventional", asid_tagged=False)),
+    ]
+    rows = []
+    for label, report in configs:
+        stats = report.stats
+        switches = report.switches or 1
+        rows.append(
+            [
+                label,
+                report.calls,
+                switches,
+                round(stats["pdid.write"] / switches, 2),
+                round((stats["group_reload"] + stats["group_eager_load"]) / switches, 2),
+                round(stats["asidtlb.purge_removed"] / switches, 2),
+                round(cycles_for(stats) / report.calls),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "system",
+                "RPC calls",
+                "switches",
+                "register writes/switch",
+                "group loads/switch",
+                "TLB purged/switch",
+                "weighted cycles/call",
+            ],
+            rows,
+            title="RPC ping-pong: per-switch protection cost (Section 4.1.4)",
+        )
+    )
+    print(
+        "\nThe PLB retains both domains' rights simultaneously (entries are\n"
+        "PD-ID-tagged), so the steady state takes no protection refills at\n"
+        "all; the page-group holder must be rebuilt after every switch."
+    )
+
+
+if __name__ == "__main__":
+    main()

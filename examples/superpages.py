@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Decoupled granularities: protection vs translation page sizes (§4.3).
+
+Because the PLB separates protection from translation, each can use the
+granularity that suits it:
+
+* a big uniform segment gets ONE protection entry (a superpage PLB
+  entry) and, when backed by physically contiguous frames, ONE
+  translation entry — multiplying both structures' reach;
+* a transactional database keeps 4 KB (or finer) protection while its
+  translations stay large.
+
+Run:  python examples/superpages.py
+"""
+
+from __future__ import annotations
+
+from repro import Kernel, Machine, Rights
+from repro.analysis.report import format_table
+
+
+def run(plb_levels, tlb_levels, contiguous):
+    kernel = Kernel(
+        "plb",
+        n_frames=8192,
+        system_options={
+            "plb_entries": 16,
+            "plb_levels": plb_levels,
+            "tlb_entries": 8,
+            "tlb_levels": tlb_levels,
+        },
+    )
+    machine = Machine(kernel)
+    domain = kernel.create_domain("app")
+    segments = [
+        kernel.create_segment(f"region-{index}", 16, contiguous=contiguous)
+        for index in range(4)
+    ]
+    for segment in segments:
+        kernel.attach(domain, segment, Rights.RW)
+    for _ in range(3):
+        for segment in segments:
+            for vpn in segment.vpns():
+                machine.read(domain, kernel.params.vaddr(vpn))
+    return kernel
+
+
+def main() -> None:
+    configs = [
+        ("4K protection / 4K translation", (0,), (0,), False),
+        ("64K protection / 4K translation", (4, 0), (0,), False),
+        ("4K protection / 64K translation", (0,), (4, 0), True),
+        ("64K protection / 64K translation", (4, 0), (4, 0), True),
+    ]
+    rows = []
+    for label, plb_levels, tlb_levels, contiguous in configs:
+        kernel = run(plb_levels, tlb_levels, contiguous)
+        stats = kernel.stats
+        rows.append(
+            [
+                label,
+                stats["plb.fill"],
+                f"{stats['plb.miss'] / (stats['plb.hit'] + stats['plb.miss']) * 100:.1f}%",
+                stats["tlb.fill"],
+                kernel.system.tlb.reach_pages(),
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "PLB fills", "PLB miss rate",
+             "TLB fills", "TLB reach (pages)"],
+            rows,
+            title="4 x 16-page regions through a 16-entry PLB and 8-entry TLB",
+        )
+    )
+    print(
+        "\nSection 4.3's point: with the PLB the two granularities are\n"
+        "independent dials — big translations for TLB reach, protection\n"
+        "sized to what the application's fault-driven tricks need."
+    )
+
+
+if __name__ == "__main__":
+    main()

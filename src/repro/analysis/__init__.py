@@ -1,0 +1,5 @@
+"""Regeneration of the paper's artifacts: Table 1, Figures 1-2, reports."""
+
+from repro.analysis.report import comparison_table, format_table
+
+__all__ = ["comparison_table", "format_table"]

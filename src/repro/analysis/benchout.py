@@ -1,0 +1,26 @@
+"""Report registry for the benchmark harness.
+
+Benchmark runs produce the paper-style tables (Table 1 rows, Figure 1/2
+renditions, sweep series).  pytest captures stdout, so benches register
+their rendered reports here and ``benchmarks/conftest.py`` prints them in
+the terminal summary, where ``pytest ... | tee bench_output.txt`` records
+them alongside the timing table.
+"""
+
+from __future__ import annotations
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record(title: str, text: str) -> None:
+    """Register one rendered report for the end-of-run summary."""
+    _REPORTS.append((title, text))
+
+
+def all_reports() -> list[tuple[str, str]]:
+    """Registered reports in registration order."""
+    return list(_REPORTS)
+
+
+def clear() -> None:
+    _REPORTS.clear()

@@ -1,0 +1,201 @@
+"""Reproduction of the paper's Figures 1 and 2.
+
+Figure 1 shows the PLB + VIVT-cache organization with its field widths
+(52-bit VPN, 16-bit PD-ID, 3-bit rights for 64-bit addresses and 4 Kbyte
+pages); :func:`figure1_fields` recomputes those widths from machine
+parameters and :func:`render_figure1` draws the organization.
+
+Figure 2 shows the PA-RISC protection check (AID against the PIDs, the
+write-disable bit, privilege implied by rights);
+:func:`figure2_check_matrix` exercises the implemented check across the
+full decision space and :func:`render_figure2` prints the truth table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.core.pagegroup import GLOBAL_PAGE_GROUP, PageGroupCache, PIDEntry, check_group_access
+from repro.core.params import MachineParams, DEFAULT_PARAMS
+from repro.core.rights import AccessType, Rights
+
+
+# --------------------------------------------------------------------- #
+# Figure 1
+
+
+@dataclass(frozen=True)
+class Figure1Fields:
+    """The PLB entry field widths of Figure 1."""
+
+    vpn_bits: int
+    pd_id_bits: int
+    rights_bits: int
+
+    @property
+    def entry_bits(self) -> int:
+        """Tag + payload bits, excluding the valid bit."""
+        return self.vpn_bits + self.pd_id_bits + self.rights_bits
+
+
+def figure1_fields(params: MachineParams = DEFAULT_PARAMS) -> Figure1Fields:
+    """Recompute Figure 1's field widths from the machine parameters.
+
+    "Numbers shown indicate field widths, assuming 64 bit addresses and
+    4Kbyte pages.  The VPN bits assume a fully associative PLB."
+    """
+    return Figure1Fields(
+        vpn_bits=params.vpn_bits,
+        pd_id_bits=params.pd_id_bits,
+        rights_bits=params.rights_bits,
+    )
+
+
+def render_figure1(params: MachineParams = DEFAULT_PARAMS) -> str:
+    """ASCII rendition of Figure 1's organization and field widths."""
+    fields = figure1_fields(params)
+    return "\n".join(
+        [
+            "Figure 1: PLB with a virtually indexed, virtually tagged cache",
+            "",
+            "   CPU ──virtual address──┬──────────────► VIVT data cache ──miss──► TLB ──► L2/memory",
+            "        (PD-ID register)  │                     (VPN-indexed, parallel)",
+            "                          ▼",
+            "                         PLB  (protection only, no translation)",
+            "",
+            f"   PLB entry:  | VPN: {fields.vpn_bits} bits | PD-ID: {fields.pd_id_bits} bits "
+            f"| Rights: {fields.rights_bits} bits |   = {fields.entry_bits} bits",
+            "",
+            f"   (assuming {params.va_bits}-bit virtual addresses and "
+            f"{params.page_size // 1024} Kbyte pages; fully associative PLB)",
+        ]
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 2
+
+
+@dataclass(frozen=True)
+class Figure2Case:
+    """One scenario through the PA-RISC protection check."""
+
+    description: str
+    aid: int
+    page_rights: Rights
+    access: AccessType
+    group_resident: bool
+    write_disable: bool
+    expect_group_hit: bool
+    expect_allowed: bool
+
+
+def figure2_cases() -> list[Figure2Case]:
+    """The decision space of Figure 2's check."""
+    return [
+        Figure2Case(
+            "group resident, rights allow read",
+            aid=7, page_rights=Rights.RW, access=AccessType.READ,
+            group_resident=True, write_disable=False,
+            expect_group_hit=True, expect_allowed=True,
+        ),
+        Figure2Case(
+            "group resident, rights allow write",
+            aid=7, page_rights=Rights.RW, access=AccessType.WRITE,
+            group_resident=True, write_disable=False,
+            expect_group_hit=True, expect_allowed=True,
+        ),
+        Figure2Case(
+            "write-disable bit masks write",
+            aid=7, page_rights=Rights.RW, access=AccessType.WRITE,
+            group_resident=True, write_disable=True,
+            expect_group_hit=True, expect_allowed=False,
+        ),
+        Figure2Case(
+            "write-disable bit leaves read intact",
+            aid=7, page_rights=Rights.RW, access=AccessType.READ,
+            group_resident=True, write_disable=True,
+            expect_group_hit=True, expect_allowed=True,
+        ),
+        Figure2Case(
+            "rights field denies write",
+            aid=7, page_rights=Rights.READ, access=AccessType.WRITE,
+            group_resident=True, write_disable=False,
+            expect_group_hit=True, expect_allowed=False,
+        ),
+        Figure2Case(
+            "AID matches no PID: access violation",
+            aid=9, page_rights=Rights.RW, access=AccessType.READ,
+            group_resident=False, write_disable=False,
+            expect_group_hit=False, expect_allowed=False,
+        ),
+        Figure2Case(
+            "group 0 is global to all domains",
+            aid=GLOBAL_PAGE_GROUP, page_rights=Rights.READ, access=AccessType.READ,
+            group_resident=False, write_disable=False,
+            expect_group_hit=True, expect_allowed=True,
+        ),
+        Figure2Case(
+            "group 0 still honors the rights field",
+            aid=GLOBAL_PAGE_GROUP, page_rights=Rights.READ, access=AccessType.WRITE,
+            group_resident=False, write_disable=False,
+            expect_group_hit=True, expect_allowed=False,
+        ),
+        Figure2Case(
+            "execute permitted by rights",
+            aid=7, page_rights=Rights.RX, access=AccessType.EXECUTE,
+            group_resident=True, write_disable=False,
+            expect_group_hit=True, expect_allowed=True,
+        ),
+    ]
+
+
+def figure2_check_matrix() -> list[dict[str, object]]:
+    """Run every Figure 2 case through the implementation.
+
+    Returns one dict per case with the observed and expected outcomes;
+    ``matches`` is True when the hardware model agrees with the figure.
+    """
+    results = []
+    for case in figure2_cases():
+        holder = PageGroupCache(entries=4)
+        if case.group_resident:
+            holder.install(PIDEntry(group=case.aid, write_disable=case.write_disable))
+        decision = check_group_access(case.aid, case.page_rights, case.access, holder)
+        results.append(
+            {
+                "description": case.description,
+                "aid": case.aid,
+                "rights": case.page_rights.describe(),
+                "access": case.access.value,
+                "group_hit": decision.group_hit,
+                "allowed": decision.allowed,
+                "matches": (
+                    decision.group_hit == case.expect_group_hit
+                    and decision.allowed == case.expect_allowed
+                ),
+            }
+        )
+    return results
+
+
+def render_figure2() -> str:
+    """Truth table of the Figure 2 protection check."""
+    rows = [
+        [
+            entry["description"],
+            entry["aid"],
+            entry["rights"],
+            entry["access"],
+            "yes" if entry["group_hit"] else "no",
+            "yes" if entry["allowed"] else "no",
+            "OK" if entry["matches"] else "MISMATCH",
+        ]
+        for entry in figure2_check_matrix()
+    ]
+    return format_table(
+        ["scenario", "AID", "rights", "access", "group hit", "allowed", "check"],
+        rows,
+        title="Figure 2: PA-RISC protection check (AID vs PIDs, write-disable bit)",
+    )

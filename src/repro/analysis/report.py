@@ -1,0 +1,92 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every benchmark prints its results as aligned ASCII tables in the same
+row/column layout as the paper's artifacts, so the reproduction can be
+eyeballed against the original.  No plotting dependencies: series data
+("figures") are printed as numeric columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.sim.stats import Stats
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned text table with a header rule."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(
+                cell.rjust(width) if _numeric(cell) else cell.ljust(width)
+                for cell, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell.rstrip("x%"))
+    except ValueError:
+        return False
+    return True
+
+
+def comparison_table(
+    stats_by_model: dict[str, Stats],
+    counters: Sequence[tuple[str, str]],
+    *,
+    title: str | None = None,
+) -> str:
+    """One row per counter, one column per model.
+
+    Args:
+        stats_by_model: Model name -> its Stats.
+        counters: ``(label, counter_name)`` pairs; a counter name ending
+            in ``*`` sums the prefix (``Stats.total``).
+    """
+    models = list(stats_by_model)
+    headers = ["event"] + models
+    rows = []
+    for label, counter in counters:
+        row: list[object] = [label]
+        for model in models:
+            stats = stats_by_model[model]
+            if counter.endswith("*"):
+                row.append(stats.total(counter[:-1].rstrip(".")))
+            else:
+                row.append(stats[counter])
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A safe ratio for report columns (0 when the denominator is 0)."""
+    return numerator / denominator if denominator else 0.0

@@ -1,0 +1,116 @@
+"""Cross-workload summary: the 'who wins where' capstone table.
+
+The paper concludes that "many of the answers will depend on how the
+systems will be used, i.e., which operations are most common"
+(Section 6).  This module runs every application class under all three
+systems on one (small) configuration and summarizes weighted cycles per
+workload, plus the geometric-mean ratio of each system against the PLB
+baseline — the shape a follow-on evaluation paper would lead with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.table1 import (
+    Table1Result,
+    run_attach_detach,
+    run_checkpoint,
+    run_compression,
+    run_fileserver,
+    run_gc,
+    run_rpc,
+    run_txn,
+)
+from repro.core.costs import CycleCosts, DEFAULT_COSTS, geometric_mean
+from repro.os.kernel import MODELS
+from repro.analysis.table1 import _run_matrix
+from repro.workloads.attach import AttachConfig
+from repro.workloads.checkpoint import CheckpointConfig
+from repro.workloads.compression import CompressionConfig
+from repro.workloads.fileserver import FileServerConfig
+from repro.workloads.gc import GCConfig
+from repro.workloads.rpc import RPCConfig
+from repro.workloads.shlib import SharedLibraryConfig, SharedLibraryWorkload
+from repro.workloads.txn import TxnConfig
+
+
+def _run_shlib(models) -> Table1Result:
+    config = SharedLibraryConfig(libraries=3, library_pages=4, domains=3,
+                                 rounds=3, fetches_per_round=16)
+    return _run_matrix(
+        "Shared libraries",
+        lambda kernel: SharedLibraryWorkload(kernel, config),
+        models=models,
+        summarize=lambda r: {"fetches": r.fetches},
+    )
+
+#: The quick-run configurations used for the summary (small but
+#: representative; each workload's dedicated bench uses larger ones).
+QUICK_RUNS: list[tuple[str, Callable[..., Table1Result]]] = [
+    ("attach/detach", lambda models: run_attach_detach(
+        AttachConfig(segments=8, pages_per_segment=4, sharers=1), models=models)),
+    ("concurrent GC", lambda models: run_gc(
+        GCConfig(heap_pages=24, collections=2, mutator_refs_per_cycle=600),
+        models=models)),
+    ("transactions", lambda models: run_txn(
+        TxnConfig(db_pages=24, transactions=8, touches_per_txn=14), models=models)),
+    ("checkpoint", lambda models: run_checkpoint(
+        CheckpointConfig(segment_pages=24, checkpoints=2, refs_per_checkpoint=400),
+        models=models)),
+    ("compression paging", lambda models: run_compression(
+        CompressionConfig(segment_pages=32, resident_budget=12, refs=1_000),
+        models=models)),
+    ("RPC", lambda models: run_rpc(RPCConfig(calls=60), models=models)),
+    ("file server", lambda models: run_fileserver(
+        FileServerConfig(requests=45, files=8, active_files=4), models=models)),
+    ("shared libraries", _run_shlib),
+]
+
+
+@dataclass
+class SummaryRow:
+    workload: str
+    cycles: dict[str, int]
+
+
+def run_summary(
+    *, models: Sequence[str] = MODELS, costs: CycleCosts = DEFAULT_COSTS
+) -> list[SummaryRow]:
+    """Run the quick configurations of every workload across models."""
+    rows = []
+    for name, runner in QUICK_RUNS:
+        result = runner(tuple(models))
+        rows.append(SummaryRow(workload=name, cycles=result.cycles(costs)))
+    return rows
+
+
+def render_summary(rows: list[SummaryRow], *, baseline: str = "plb") -> str:
+    """Cycles per workload per model, plus geomean ratios vs baseline."""
+    models = list(rows[0].cycles)
+    table_rows = []
+    for row in rows:
+        base = row.cycles[baseline]
+        table_rows.append(
+            [row.workload]
+            + [row.cycles[model] for model in models]
+            + [f"{row.cycles[model] / base:.2f}x" for model in models if model != baseline]
+        )
+    ratio_columns = [f"{model}/{baseline}" for model in models if model != baseline]
+    geomeans = []
+    for model in models:
+        if model == baseline:
+            continue
+        ratios = [row.cycles[model] / row.cycles[baseline] for row in rows]
+        geomeans.append(f"{geometric_mean(ratios):.2f}x")
+    table = format_table(
+        ["workload"] + models + ratio_columns,
+        table_rows,
+        title="Weighted cycles per workload (quick configurations)",
+    )
+    footer = "geometric mean " + ", ".join(
+        f"{column} = {value}" for column, value in zip(ratio_columns, geomeans)
+    )
+    return table + "\n" + footer

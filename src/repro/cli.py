@@ -1,0 +1,229 @@
+"""Command-line interface: regenerate paper artifacts and run workloads.
+
+``python -m repro <command>``:
+
+* ``figure1`` / ``figure2`` — print the figure reproductions.
+* ``table1`` — run every Table 1 application class across the models and
+  print the measured tables (slow-ish; use ``--models`` to narrow).
+* ``entry-sizes`` — the §3.2.1/§4 bit-cost tables.
+* ``workload <name>`` — run one application class on one model and dump
+  its stats (names: attach, gc, dsm, txn, checkpoint, compression, rpc).
+* ``replay <trace-file>`` — replay a saved reference trace on a model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.figures import render_figure1, render_figure2
+from repro.analysis.report import format_table
+from repro.analysis.summary import render_summary, run_summary
+from repro.analysis.table1 import (
+    full_table1,
+    run_attach_detach,
+    run_checkpoint,
+    run_compression,
+    run_dsm,
+    run_fileserver,
+    run_gc,
+    run_rpc,
+    run_shlib,
+    run_txn,
+)
+from repro.core.costs import (
+    conventional_tlb_entry_bits,
+    cycles_for,
+    pagegroup_tlb_entry_bits,
+    plb_entry_bits,
+    plb_size_advantage,
+    translation_tlb_entry_bits,
+    vivt_overhead_ratio,
+)
+from repro.core.params import DEFAULT_PARAMS
+from repro.os.kernel import Kernel, MODELS
+from repro.sim.machine import Machine
+from repro.sim.trace import read_trace
+
+WORKLOADS = {
+    "attach": run_attach_detach,
+    "gc": run_gc,
+    "txn": run_txn,
+    "checkpoint": run_checkpoint,
+    "compression": run_compression,
+    "rpc": run_rpc,
+    "fileserver": run_fileserver,
+    "shlib": run_shlib,
+}
+
+
+def _parse_models(text: str) -> tuple[str, ...]:
+    models = tuple(model.strip() for model in text.split(",") if model.strip())
+    for model in models:
+        if model not in MODELS:
+            raise argparse.ArgumentTypeError(
+                f"unknown model {model!r}; choose from {', '.join(MODELS)}"
+            )
+    return models
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Architectural Support for Single "
+        "Address Space Operating Systems' (ASPLOS 1992)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figure1", help="print the Figure 1 reproduction")
+    sub.add_parser("figure2", help="print the Figure 2 truth table")
+    sub.add_parser("entry-sizes", help="print the §3.2.1/§4 bit-cost tables")
+
+    everything = sub.add_parser(
+        "all", help="regenerate every artifact (figures, Table 1, summary)"
+    )
+    everything.add_argument(
+        "--models", type=_parse_models, default=MODELS,
+        help="comma-separated subset of: " + ",".join(MODELS),
+    )
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1 (measured)")
+    table1.add_argument(
+        "--models", type=_parse_models, default=MODELS,
+        help="comma-separated subset of: " + ",".join(MODELS),
+    )
+
+    summary = sub.add_parser(
+        "summary", help="cross-workload weighted-cycles summary"
+    )
+    summary.add_argument(
+        "--models", type=_parse_models, default=MODELS,
+        help="comma-separated subset of: " + ",".join(MODELS),
+    )
+
+    workload = sub.add_parser("workload", help="run one application class")
+    workload.add_argument("name", choices=sorted(WORKLOADS) + ["dsm"])
+    workload.add_argument(
+        "--models", type=_parse_models, default=MODELS,
+        help="comma-separated subset of: " + ",".join(MODELS),
+    )
+
+    replay = sub.add_parser("replay", help="replay a saved reference trace")
+    replay.add_argument("trace", help="trace file (see repro.sim.trace)")
+    replay.add_argument("--model", choices=MODELS, default="plb")
+    replay.add_argument(
+        "--pages", type=int, default=64,
+        help="pages in the segment created for the trace's addresses",
+    )
+    return parser
+
+
+def cmd_entry_sizes() -> str:
+    params = DEFAULT_PARAMS
+    table = format_table(
+        ["structure", "entry bits"],
+        [
+            ["PLB", plb_entry_bits(params)],
+            ["translation-only TLB", translation_tlb_entry_bits(params)],
+            ["page-group TLB", pagegroup_tlb_entry_bits(params)],
+            ["conventional ASID-TLB", conventional_tlb_entry_bits(params)],
+        ],
+        title="Protection/translation structure entry sizes "
+        "(64-bit VA, 36-bit PA, 4K pages)",
+    )
+    return (
+        table
+        + f"\n\nPLB entries are {plb_size_advantage(params) * 100:.1f}% smaller "
+        "than page-group TLB entries (paper: 'about 25%').\n"
+        f"A 16 KB VIVT cache is {(vivt_overhead_ratio() - 1) * 100:.1f}% larger "
+        "than VIPT (paper: 'about 10%')."
+    )
+
+
+def cmd_workload(name: str, models: Sequence[str]) -> str:
+    if name == "dsm":
+        result = run_dsm(models=models)
+    else:
+        result = WORKLOADS[name](models=models)
+    summary_rows = [
+        [model] + [f"{key}={value}" for key, value in summary.items()]
+        for model, summary in result.summary_by_model.items()
+    ]
+    lines = [result.render()]
+    if summary_rows and summary_rows[0][1:]:
+        lines.append("")
+        lines.append("workload summary:")
+        for row in summary_rows:
+            lines.append("  " + "  ".join(str(cell) for cell in row))
+    return "\n".join(lines)
+
+
+def cmd_replay(path: str, model: str, pages: int) -> str:
+    kernel = Kernel(model)
+    machine = Machine(kernel)
+    from repro.core.rights import Rights
+
+    with open(path) as fp:
+        ops = list(read_trace(fp))
+    pd_ids = sorted(
+        {op.pd_id for op in ops}
+    )
+    # Build domains matching the trace's PD-IDs and one segment covering
+    # its addresses.
+    vpns = [op.vaddr >> kernel.params.page_bits for op in ops if hasattr(op, "vaddr")]
+    if not vpns:
+        return "trace contains no references"
+    base = min(vpns)
+    span = max(vpns) - base + 1
+    if span > pages:
+        pages = span
+    segment = kernel.create_segment("trace", pages, base_vpn=base)
+    domains = {}
+    for pd_id in pd_ids:
+        domain = kernel.create_domain(f"trace-domain-{pd_id}")
+        kernel.attach(domain, segment, Rights.RWX)
+        domains[pd_id] = domain
+    remapped = []
+    for op in ops:
+        remapped.append(type(op)(**{**op.__dict__, "pd_id": domains[op.pd_id].pd_id}))
+    stats = machine.run(remapped)
+    return (
+        stats.report()
+        + f"\n\nweighted cycles: {cycles_for(stats)}"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figure1":
+        print(render_figure1())
+    elif args.command == "figure2":
+        print(render_figure2())
+    elif args.command == "entry-sizes":
+        print(cmd_entry_sizes())
+    elif args.command == "table1":
+        print(full_table1(models=args.models))
+    elif args.command == "summary":
+        print(render_summary(run_summary(models=args.models)))
+    elif args.command == "all":
+        banner = "=" * 72
+        print(banner + "\nFigure 1\n" + banner)
+        print(render_figure1())
+        print("\n" + banner + "\nFigure 2\n" + banner)
+        print(render_figure2())
+        print("\n" + banner + "\nEntry sizes (§3.2.1 / §4)\n" + banner)
+        print(cmd_entry_sizes())
+        print("\n" + banner + "\nTable 1 (measured)\n" + banner)
+        print(full_table1(models=args.models))
+        print("\n" + banner + "\nCross-workload summary\n" + banner)
+        print(render_summary(run_summary(models=args.models)))
+    elif args.command == "workload":
+        print(cmd_workload(args.name, args.models))
+    elif args.command == "replay":
+        print(cmd_replay(args.trace, args.model, args.pages))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

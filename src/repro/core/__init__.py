@@ -1,0 +1,18 @@
+"""The paper's contribution: protection models for a single address space.
+
+* :mod:`repro.core.plb` — the Protection Lookaside Buffer (domain-page
+  model, Section 3.2.1 / Figure 1), with the Section 4.3 multi-
+  granularity extensions.
+* :mod:`repro.core.pagegroup` — the PA-RISC page-group model (Section
+  3.2.2 / Figure 2): PID registers and the Wilkes & Sears LRU cache.
+* :mod:`repro.core.conventional` — the Section 3.1 baseline's linear
+  page tables and duplication accounting.
+* :mod:`repro.core.mmu` — the three complete memory systems.
+* :mod:`repro.core.costs` — bit-cost and cycle-cost models.
+* :mod:`repro.core.execpoint` — the Section 5 execution-point extension.
+"""
+
+from repro.core.params import DEFAULT_PARAMS, MachineParams
+from repro.core.rights import AccessType, Rights
+
+__all__ = ["AccessType", "DEFAULT_PARAMS", "MachineParams", "Rights"]

@@ -1,0 +1,168 @@
+"""Execution-point protection: the Okamoto et al. extension (Section 5).
+
+The paper's related work describes a generalization of the domain-page
+model in which "access to a page [is mapped] either by protection domain
+or by the address where the program is currently executing; that is,
+page A can be marked so that it has read-only access by any thread that
+is currently executing code from page B."
+
+This module implements that model over the same PLB machinery: the
+protection context presented to the lookaside buffer is either the
+domain identifier or the *executing page* (the page of the program
+counter), whichever the page's policy selects.  A single hardware
+structure caches both kinds of entries; the OS-side
+:class:`ExecPointPolicyTable` decides, per target page, which context
+governs and what rights each context holds.
+
+Use cases the extension enables (beyond plain SASOS protection):
+sealed data structures accessible only through their accessor code
+pages, and capability-like gateways without capability hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.params import MachineParams, DEFAULT_PARAMS
+from repro.core.plb import ProtectionLookasideBuffer
+from repro.core.rights import AccessType, Rights
+from repro.sim.stats import Stats
+
+
+class ContextKind(enum.Enum):
+    """What the protection context of an access is."""
+
+    DOMAIN = "domain"
+    EXEC_PAGE = "exec_page"
+
+
+@dataclass(frozen=True)
+class ExecContext:
+    """A protection context: a domain id or an executing code page."""
+
+    kind: ContextKind
+    ident: int
+
+    def encode(self) -> int:
+        """Pack into the PLB's context-tag field.
+
+        Domain ids and executing-page numbers share the tag space; the
+        kind is the low bit so the two can never collide.
+        """
+        return (self.ident << 1) | (1 if self.kind is ContextKind.EXEC_PAGE else 0)
+
+
+@dataclass
+class _PagePolicy:
+    """OS policy for one target page."""
+
+    governed_by: ContextKind = ContextKind.DOMAIN
+    #: context ident -> rights.  For DOMAIN policy keys are PD-IDs; for
+    #: EXEC_PAGE policy keys are code-page VPNs.
+    grants: dict[int, Rights] = field(default_factory=dict)
+    default: Rights = Rights.NONE
+
+
+class ExecPointPolicyTable:
+    """Per-page protection policy: domain-keyed or execution-keyed."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, _PagePolicy] = {}
+
+    def _policy(self, vpn: int) -> _PagePolicy:
+        return self._pages.setdefault(vpn, _PagePolicy())
+
+    def grant_domain(self, vpn: int, pd_id: int, rights: Rights) -> None:
+        """Conventional domain-page grant."""
+        policy = self._policy(vpn)
+        policy.governed_by = ContextKind.DOMAIN
+        policy.grants[pd_id] = rights
+
+    def seal_to_code(self, vpn: int, code_vpns: dict[int, Rights],
+                     *, default: Rights = Rights.NONE) -> None:
+        """Make a page accessible only from specific code pages.
+
+        Replaces the page's policy: any thread gets ``code_vpns[pc_vpn]``
+        when executing from a listed code page, ``default`` otherwise —
+        regardless of its protection domain.
+        """
+        self._pages[vpn] = _PagePolicy(
+            governed_by=ContextKind.EXEC_PAGE,
+            grants=dict(code_vpns),
+            default=default,
+        )
+
+    def unseal(self, vpn: int) -> None:
+        """Drop the page's policy entirely (falls back to NONE)."""
+        self._pages.pop(vpn, None)
+
+    def context_for(self, vpn: int, pd_id: int, pc_vpn: int) -> ExecContext:
+        """Which context governs an access by (domain, PC) to ``vpn``."""
+        policy = self._pages.get(vpn)
+        if policy is None or policy.governed_by is ContextKind.DOMAIN:
+            return ExecContext(ContextKind.DOMAIN, pd_id)
+        return ExecContext(ContextKind.EXEC_PAGE, pc_vpn)
+
+    def rights_for(self, vpn: int, context: ExecContext) -> Rights:
+        """The rights the governing context holds on ``vpn``."""
+        policy = self._pages.get(vpn)
+        if policy is None:
+            return Rights.NONE
+        return policy.grants.get(context.ident, policy.default)
+
+
+class ExecPointMMU:
+    """A PLB checked under execution-point contexts.
+
+    The hardware path mirrors the plain PLB system: extract the target
+    page, determine the governing context (a control register holds the
+    PD-ID; the PC supplies the executing page), probe the PLB under that
+    context's tag, and refill from the policy table on a miss.  An
+    access the effective rights do not allow raises nothing here —
+    callers check the returned decision (this is a protection model
+    study, not a full machine).
+    """
+
+    def __init__(
+        self,
+        policy: ExecPointPolicyTable,
+        *,
+        plb_entries: int = 128,
+        params: MachineParams = DEFAULT_PARAMS,
+        stats: Stats | None = None,
+    ) -> None:
+        self.policy = policy
+        self.params = params
+        self.stats = stats if stats is not None else Stats()
+        self.plb = ProtectionLookasideBuffer(
+            plb_entries, params=params, stats=self.stats, name="xplb"
+        )
+
+    def check(
+        self,
+        pd_id: int,
+        pc_vaddr: int,
+        target_vaddr: int,
+        access: AccessType,
+    ) -> bool:
+        """Would this access be allowed?  Fills the PLB as a side effect."""
+        self.stats.inc("xp.checks")
+        vpn = self.params.vpn(target_vaddr)
+        pc_vpn = self.params.vpn(pc_vaddr)
+        context = self.policy.context_for(vpn, pd_id, pc_vpn)
+        tag = context.encode()
+        rights = self.plb.lookup(tag, target_vaddr)
+        if rights is None:
+            rights = self.policy.rights_for(vpn, context)
+            self.plb.fill(tag, target_vaddr, rights)
+            self.stats.inc("xp.refill")
+        allowed = rights.allows(access)
+        if not allowed:
+            self.stats.inc("xp.denied")
+        return allowed
+
+    def revoke_page(self, vpn: int) -> None:
+        """Policy change on a page: purge its cached entries (all tags)."""
+        self.policy.unseal(vpn)
+        self.plb.purge_page(vpn)

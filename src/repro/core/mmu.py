@@ -1,0 +1,561 @@
+"""The three complete memory systems compared by the paper.
+
+Each system wires a protection structure, a translation structure and a
+data cache into a single reference path with one interface:
+
+* :class:`PLBSystem` — the domain-page model (Section 3.2.1): an on-chip
+  PLB checked in parallel with a virtually indexed, virtually tagged data
+  cache, and a translation-only TLB off the critical path (consulted only
+  on cache misses and writebacks).
+* :class:`PageGroupSystem` — the page-group model (Section 3.2.2): an
+  on-chip AID-tagged TLB probed on every reference, a page-group holder
+  (LRU cache or 4-register PID file), and (by default) a virtually
+  indexed, physically tagged data cache.
+* :class:`ConventionalSystem` — the Section 3.1 baseline: an ASID-tagged
+  TLB combining translation and protection, replicated per domain.
+
+The systems know nothing about segments or page-groups policy; they pull
+protection and translation mappings on miss from narrow *source*
+protocols that the operating-system layer implements, and they raise
+:class:`ProtectionFault` / :class:`PageFault` for the kernel to handle.
+All events land in one shared :class:`~repro.sim.stats.Stats` object whose
+counter names line up with the cycle-cost table in
+:mod:`repro.core.costs`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+from repro.core.pagegroup import (
+    GLOBAL_PAGE_GROUP,
+    PageGroupCache,
+    PIDEntry,
+    PIDRegisterFile,
+    check_group_access,
+)
+from repro.core.params import MachineParams, DEFAULT_PARAMS
+from repro.core.plb import ProtectionLookasideBuffer
+from repro.core.rights import AccessType, Rights
+from repro.hardware.cache import CacheOrg, DataCache
+from repro.hardware.registers import PDIDRegister
+from repro.hardware.tlb import AIDTaggedTLB, ASIDTaggedTLB, TranslationTLB
+from repro.sim.stats import Stats
+
+
+# --------------------------------------------------------------------- #
+# Faults
+
+
+class FaultReason(enum.Enum):
+    """Why a reference was refused."""
+
+    #: The domain has no protection mapping at all for the page (the
+    #: segment is not attached, or the page-group is not held).
+    UNATTACHED = "unattached"
+    #: A mapping exists but its rights do not permit the access.
+    DENIED = "denied"
+
+
+class ProtectionFault(Exception):
+    """A reference violated protection; delivered to the kernel."""
+
+    def __init__(
+        self,
+        pd_id: int,
+        vaddr: int,
+        access: AccessType,
+        reason: FaultReason,
+        rights: Rights = Rights.NONE,
+    ) -> None:
+        super().__init__(
+            f"protection fault: domain {pd_id} {access.value} at {vaddr:#x} "
+            f"({reason.value}, rights={rights.describe()})"
+        )
+        self.pd_id = pd_id
+        self.vaddr = vaddr
+        self.access = access
+        self.reason = reason
+        self.rights = rights
+
+
+class PageFault(Exception):
+    """No resident translation for the page; the pager must supply one."""
+
+    def __init__(self, vaddr: int, pd_id: int, access: AccessType) -> None:
+        super().__init__(f"page fault at {vaddr:#x} (domain {pd_id}, {access.value})")
+        self.vaddr = vaddr
+        self.pd_id = pd_id
+        self.access = access
+
+
+# --------------------------------------------------------------------- #
+# OS-facing source protocols (implemented by the kernel's tables)
+
+
+@dataclass(frozen=True)
+class ProtectionInfo:
+    """A protection mapping handed to the hardware on a PLB miss.
+
+    ``level`` selects the protection-unit size (Section 4.3): 0 is one
+    page; positive levels span ``2**level`` pages with a single entry.
+    """
+
+    rights: Rights
+    level: int = 0
+
+
+class ProtectionSource(Protocol):
+    """Per-domain, per-page rights: the PLB's backing tables."""
+
+    def rights_for(self, pd_id: int, vpn: int) -> ProtectionInfo | None:
+        """The domain's rights on a page, or None when unattached."""
+
+
+@dataclass(frozen=True)
+class TranslationInfo:
+    """A translation handed to the hardware on a TLB miss.
+
+    ``level`` selects the translation page size (Section 4.3): 0 maps a
+    single page with frame ``pfn``; level L maps the aligned
+    ``2**L``-page unit containing the faulting page, whose *base* frame
+    is ``pfn`` (the unit must be physically contiguous).
+    """
+
+    pfn: int
+    level: int = 0
+
+
+class TranslationSource(Protocol):
+    """Global virtual-to-physical translations: the TLB's backing table."""
+
+    def translation_for(self, vpn: int) -> TranslationInfo | None:
+        """The resident translation covering a page, or None (-> fault)."""
+
+
+class GroupSource(Protocol):
+    """Page-group model tables: page membership and domain holdings."""
+
+    def page_info(self, vpn: int) -> tuple[int, Rights, int] | None:
+        """``(pfn, rights, aid)`` for a resident page, else None."""
+
+    def domain_group_entry(self, pd_id: int, group: int) -> PIDEntry | None:
+        """The domain's PID entry for ``group`` if it holds the group."""
+
+    def domain_groups(self, pd_id: int) -> Iterable[PIDEntry]:
+        """All groups the domain holds (for eager reload on switch)."""
+
+
+class DomainPageSource(Protocol):
+    """Conventional per-domain page tables: combined rights+translation."""
+
+    def domain_page(self, pd_id: int, vpn: int) -> tuple[int, Rights] | None:
+        """``(pfn, rights)`` for a resident, attached page.
+
+        Returns None when the domain has no mapping; raises nothing —
+        the system turns a missing *translation* into a PageFault via
+        :meth:`page_resident`.
+        """
+
+    def page_resident(self, vpn: int) -> bool:
+        """Whether the page has a resident frame at all."""
+
+
+# --------------------------------------------------------------------- #
+# Access result
+
+
+@dataclass
+class AccessResult:
+    """Summary of one completed (non-faulting) reference."""
+
+    cache_hit: bool
+    protection_refill: bool = False
+    translation_refill: bool = False
+    translated: bool = False
+
+
+# --------------------------------------------------------------------- #
+# Base machinery
+
+
+class MemorySystem:
+    """Shared state for the three systems: current domain and data cache."""
+
+    #: Short identifier used in reports.
+    model_name = "base"
+
+    def __init__(
+        self,
+        *,
+        params: MachineParams,
+        cache_bytes: int,
+        cache_ways: int,
+        cache_org: CacheOrg,
+        detect_hazards: bool,
+        stats: Stats | None,
+    ) -> None:
+        self.params = params
+        self.stats = stats if stats is not None else Stats()
+        self.pdid = PDIDRegister(stats=self.stats)
+        self.dcache = DataCache(
+            cache_bytes,
+            cache_ways,
+            cache_org,
+            params=params,
+            detect_hazards=detect_hazards,
+            stats=self.stats,
+        )
+
+    @property
+    def current_domain(self) -> int:
+        return self.pdid.value
+
+    def access(self, vaddr: int, access: AccessType) -> AccessResult:
+        raise NotImplementedError
+
+    def switch_domain(self, pd_id: int) -> None:
+        raise NotImplementedError
+
+    def read(self, vaddr: int) -> AccessResult:
+        """Convenience wrapper for a load."""
+        return self.access(vaddr, AccessType.READ)
+
+    def write(self, vaddr: int) -> AccessResult:
+        """Convenience wrapper for a store."""
+        return self.access(vaddr, AccessType.WRITE)
+
+
+# --------------------------------------------------------------------- #
+# The PLB system (domain-page model)
+
+
+class PLBSystem(MemorySystem):
+    """PLB + VIVT cache + off-critical-path translation TLB (Figure 1).
+
+    The PLB and the data cache are probed in parallel with VPN bits; the
+    TLB is consulted only when the cache needs a physical address (miss
+    or dirty writeback), which the model expresses through the cache's
+    lazy-translation callable.  Off-critical-path TLB accesses are
+    counted separately (``tlb.off_chip_access``) so benchmarks can show
+    how rarely translation runs.
+
+    With ``l2_cache_bytes`` set, a physically indexed second-level cache
+    sits behind the VIVT first level — "an obvious organization would
+    place the TLB along with the cache controller for the second-level
+    cache" (Section 3.2.1, after Wang et al.).  First-level misses fetch
+    through the L2 and dirty victims write back into it, so L2 counters
+    show how much of the miss traffic main memory never sees.
+    """
+
+    model_name = "plb"
+
+    def __init__(
+        self,
+        protection: ProtectionSource,
+        translation: TranslationSource,
+        *,
+        params: MachineParams = DEFAULT_PARAMS,
+        plb_entries: int = 128,
+        plb_ways: int | None = None,
+        plb_levels: Iterable[int] = (0,),
+        tlb_entries: int = 1024,
+        tlb_ways: int | None = None,
+        tlb_levels: tuple[int, ...] = (0,),
+        cache_bytes: int = 16 * 1024,
+        cache_ways: int = 1,
+        cache_org: CacheOrg = CacheOrg.VIVT,
+        l2_cache_bytes: int | None = None,
+        l2_cache_ways: int = 4,
+        detect_hazards: bool = False,
+        stats: Stats | None = None,
+    ) -> None:
+        super().__init__(
+            params=params,
+            cache_bytes=cache_bytes,
+            cache_ways=cache_ways,
+            cache_org=cache_org,
+            detect_hazards=detect_hazards,
+            stats=stats,
+        )
+        self.protection = protection
+        self.translation = translation
+        self.plb = ProtectionLookasideBuffer(
+            plb_entries, plb_ways, levels=plb_levels, params=params, stats=self.stats
+        )
+        self.tlb = TranslationTLB(
+            tlb_entries, tlb_ways, levels=tlb_levels, stats=self.stats
+        )
+        self.l2: DataCache | None = None
+        if l2_cache_bytes is not None:
+            self.l2 = DataCache(
+                l2_cache_bytes,
+                l2_cache_ways,
+                CacheOrg.PIPT,
+                params=params,
+                stats=self.stats,
+                name="l2cache",
+            )
+
+    def access(self, vaddr: int, access: AccessType) -> AccessResult:
+        self.stats.inc("refs")
+        pd_id = self.current_domain
+        vpn = self.params.vpn(vaddr)
+
+        rights = self.plb.lookup(pd_id, vaddr)
+        protection_refill = False
+        if rights is None:
+            info = self.protection.rights_for(pd_id, vpn)
+            if info is None:
+                raise ProtectionFault(pd_id, vaddr, access, FaultReason.UNATTACHED)
+            self.plb.fill(pd_id, vaddr, info.rights, level=info.level)
+            rights = info.rights
+            protection_refill = True
+        if not rights.allows(access):
+            raise ProtectionFault(pd_id, vaddr, access, FaultReason.DENIED, rights)
+
+        refill = False
+        resolved: int | None = None
+
+        def translate() -> int:
+            nonlocal refill, resolved
+            if resolved is not None:
+                return resolved
+            self.stats.inc("tlb.off_chip_access")
+            entry = self.tlb.lookup(vpn)
+            if entry is None:
+                info = self.translation.translation_for(vpn)
+                if info is None:
+                    raise PageFault(vaddr, pd_id, access)
+                entry = self.tlb.fill(vpn, info.pfn, level=info.level)
+                refill = True
+            entry.referenced = True
+            if access.is_write:
+                entry.dirty = True
+            resolved = self.params.vaddr(
+                entry.pfn_for(vpn), self.params.page_offset(vaddr)
+            )
+            return resolved
+
+        outcome = self.dcache.access(vaddr, translate, write=access.is_write, asid=pd_id)
+        if self.l2 is not None:
+            if outcome.victim_paddr_line is not None:
+                # The L1's dirty victim lands in the L2 (write-allocate).
+                victim_paddr = outcome.victim_paddr_line << self.params.line_offset_bits
+                self.l2.access(victim_paddr, lambda: victim_paddr, write=True)
+            if not outcome.hit:
+                # The missing line is fetched through the L2; the TLB at
+                # the L2 controller already resolved the address above.
+                fetch_paddr = translate()
+                self.l2.access(fetch_paddr, lambda: fetch_paddr)
+        return AccessResult(
+            cache_hit=outcome.hit,
+            protection_refill=protection_refill,
+            translation_refill=refill,
+            translated=outcome.translated,
+        )
+
+    def switch_domain(self, pd_id: int) -> None:
+        """One control-register write — the whole cost (Section 4.1.4)."""
+        self.stats.inc("domain_switch")
+        self.pdid.write(pd_id)
+
+
+# --------------------------------------------------------------------- #
+# The page-group system (PA-RISC model)
+
+
+class PageGroupSystem(MemorySystem):
+    """AID-tagged TLB + page-group holder (+ VIPT cache), per Figure 2.
+
+    Args:
+        group_source: The kernel tables behind TLB and group-cache misses.
+        group_holder: ``"cache"`` (Wilkes & Sears LRU cache, the paper's
+            evaluation configuration) or ``"registers"`` (the real
+            PA-RISC's four PIDs).
+        group_capacity: Entries in the holder.
+        eager_reload: Reload the new domain's groups on a switch instead
+            of faulting them in lazily (Section 4.1.4 discusses both).
+    """
+
+    model_name = "pagegroup"
+
+    def __init__(
+        self,
+        group_source: GroupSource,
+        *,
+        params: MachineParams = DEFAULT_PARAMS,
+        tlb_entries: int = 128,
+        tlb_ways: int | None = None,
+        group_holder: str = "cache",
+        group_capacity: int = 16,
+        eager_reload: bool = False,
+        cache_bytes: int = 16 * 1024,
+        cache_ways: int = 1,
+        cache_org: CacheOrg = CacheOrg.VIPT,
+        detect_hazards: bool = False,
+        stats: Stats | None = None,
+    ) -> None:
+        super().__init__(
+            params=params,
+            cache_bytes=cache_bytes,
+            cache_ways=cache_ways,
+            cache_org=cache_org,
+            detect_hazards=detect_hazards,
+            stats=stats,
+        )
+        self.source = group_source
+        self.tlb = AIDTaggedTLB(tlb_entries, tlb_ways, stats=self.stats)
+        self.eager_reload = eager_reload
+        if group_holder == "cache":
+            self.groups: PageGroupCache | PIDRegisterFile = PageGroupCache(
+                group_capacity, stats=self.stats
+            )
+        elif group_holder == "registers":
+            self.groups = PIDRegisterFile(group_capacity, stats=self.stats)
+        else:
+            raise ValueError(f"unknown group holder {group_holder!r}")
+
+    def access(self, vaddr: int, access: AccessType) -> AccessResult:
+        self.stats.inc("refs")
+        pd_id = self.current_domain
+        vpn = self.params.vpn(vaddr)
+
+        entry = self.tlb.lookup(vpn)
+        refill = False
+        if entry is None:
+            info = self.source.page_info(vpn)
+            if info is None:
+                raise PageFault(vaddr, pd_id, access)
+            pfn, rights, aid = info
+            entry = self.tlb.fill(vpn, pfn, rights, aid)
+            refill = True
+
+        decision = check_group_access(entry.aid, entry.rights, access, self.groups)
+        group_refill = False
+        if not decision.group_hit:
+            # Group miss: the kernel checks whether the domain holds the
+            # group and reloads the holder, or raises a real fault.
+            pid_entry = self.source.domain_group_entry(pd_id, entry.aid)
+            if pid_entry is None:
+                raise ProtectionFault(pd_id, vaddr, access, FaultReason.UNATTACHED)
+            self.stats.inc("group_reload")
+            self._install_group(pid_entry)
+            group_refill = True
+            decision = check_group_access(entry.aid, entry.rights, access, self.groups)
+            assert decision.group_hit
+        if not decision.allowed:
+            raise ProtectionFault(
+                pd_id, vaddr, access, FaultReason.DENIED, decision.effective_rights
+            )
+
+        entry.referenced = True
+        if access.is_write:
+            entry.dirty = True
+        paddr = self.params.vaddr(entry.pfn, self.params.page_offset(vaddr))
+        outcome = self.dcache.access(vaddr, lambda: paddr, write=access.is_write, asid=pd_id)
+        return AccessResult(
+            cache_hit=outcome.hit,
+            protection_refill=group_refill,
+            translation_refill=refill,
+            translated=outcome.translated,
+        )
+
+    def _install_group(self, entry: PIDEntry) -> None:
+        # Both holder kinds share the install/drop/clear/find surface.
+        self.groups.install(entry)
+
+    def switch_domain(self, pd_id: int) -> None:
+        """Purge the group holder; optionally reload eagerly (§4.1.4)."""
+        self.stats.inc("domain_switch")
+        self.pdid.write(pd_id)
+        self.groups.clear()
+        if self.eager_reload:
+            for pid_entry in self.source.domain_groups(pd_id):
+                self.stats.inc("group_eager_load")
+                self._install_group(pid_entry)
+
+
+# --------------------------------------------------------------------- #
+# The conventional system (Section 3.1 baseline)
+
+
+class ConventionalSystem(MemorySystem):
+    """ASID-tagged combined TLB over per-domain page tables.
+
+    With ``asid_tagged=False`` the system instead models the purge-on-
+    switch alternative the paper mentions: the whole TLB (and a virtually
+    tagged cache, if configured) is flushed on every domain switch.
+    """
+
+    model_name = "conventional"
+
+    def __init__(
+        self,
+        source: DomainPageSource,
+        *,
+        params: MachineParams = DEFAULT_PARAMS,
+        tlb_entries: int = 128,
+        tlb_ways: int | None = None,
+        asid_tagged: bool = True,
+        cache_bytes: int = 16 * 1024,
+        cache_ways: int = 1,
+        cache_org: CacheOrg = CacheOrg.VIPT,
+        detect_hazards: bool = False,
+        stats: Stats | None = None,
+    ) -> None:
+        super().__init__(
+            params=params,
+            cache_bytes=cache_bytes,
+            cache_ways=cache_ways,
+            cache_org=cache_org,
+            detect_hazards=detect_hazards,
+            stats=stats,
+        )
+        self.source = source
+        self.asid_tagged = asid_tagged
+        self.tlb = ASIDTaggedTLB(tlb_entries, tlb_ways, stats=self.stats)
+
+    def access(self, vaddr: int, access: AccessType) -> AccessResult:
+        self.stats.inc("refs")
+        pd_id = self.current_domain
+        vpn = self.params.vpn(vaddr)
+        asid = pd_id if self.asid_tagged else 0
+
+        entry = self.tlb.lookup(asid, vpn)
+        refill = False
+        if entry is None:
+            mapping = self.source.domain_page(pd_id, vpn)
+            if mapping is None:
+                if self.source.page_resident(vpn):
+                    raise ProtectionFault(pd_id, vaddr, access, FaultReason.UNATTACHED)
+                raise PageFault(vaddr, pd_id, access)
+            pfn, rights = mapping
+            entry = self.tlb.fill(asid, vpn, pfn, rights)
+            refill = True
+        if not entry.rights.allows(access):
+            raise ProtectionFault(pd_id, vaddr, access, FaultReason.DENIED, entry.rights)
+
+        entry.referenced = True
+        if access.is_write:
+            entry.dirty = True
+        paddr = self.params.vaddr(entry.pfn, self.params.page_offset(vaddr))
+        outcome = self.dcache.access(vaddr, lambda: paddr, write=access.is_write, asid=asid)
+        return AccessResult(
+            cache_hit=outcome.hit,
+            translation_refill=refill,
+            translated=outcome.translated,
+        )
+
+    def switch_domain(self, pd_id: int) -> None:
+        self.stats.inc("domain_switch")
+        self.pdid.write(pd_id)
+        if not self.asid_tagged:
+            # Without ASIDs the TLB holds another domain's combined
+            # entries; correctness demands a full purge (Section 3.1),
+            # discarding translations that are in fact still valid.
+            self.tlb.purge()
+            if self.dcache.org is CacheOrg.VIVT and not self.dcache.asid_tagged:
+                self.dcache.purge()

@@ -1,0 +1,88 @@
+"""Machine parameters for the simulated wide-address architecture.
+
+The paper (Section 3.2.1, Figure 1) assumes a 64-bit virtual address
+space, 36-bit physical addresses, 4 Kbyte pages and 32-byte cache lines.
+Those defaults are captured here in :class:`MachineParams`; every derived
+field width used by the bit-cost model in :mod:`repro.core.costs` is
+computed from this single source of truth so that parameter sweeps stay
+consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Widths and sizes that define the simulated machine.
+
+    Attributes:
+        va_bits: Virtual address width. The paper assumes 64.
+        pa_bits: Physical address width. The paper assumes 36.
+        page_bits: log2 of the page size in bytes (12 -> 4 Kbyte pages).
+        cache_line_bytes: Data cache line size in bytes (paper: 32).
+        pd_id_bits: Width of the protection-domain identifier used to tag
+            PLB entries (Figure 1: 16 bits).
+        rights_bits: Width of the access-rights field (Figure 1: 3 bits,
+            read/write/execute).
+        aid_bits: Width of the PA-RISC access identifier (page-group
+            number) stored in each TLB entry.  The paper does not fix the
+            width; 16 bits reproduces the "about 25% smaller" PLB entry
+            claim of Section 4 and is within the range of real PA-RISC
+            implementations (15-18 bits).
+        status_bits: Dirty and referenced bits kept per translation.
+    """
+
+    va_bits: int = 64
+    pa_bits: int = 36
+    page_bits: int = 12
+    cache_line_bytes: int = 32
+    pd_id_bits: int = 16
+    rights_bits: int = 3
+    aid_bits: int = 16
+    status_bits: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.page_bits < self.va_bits:
+            raise ValueError("page_bits must fall inside the virtual address")
+        if self.pa_bits > self.va_bits:
+            raise ValueError("physical address wider than virtual address")
+        if self.cache_line_bytes <= 0 or self.cache_line_bytes & (self.cache_line_bytes - 1):
+            raise ValueError("cache_line_bytes must be a positive power of two")
+
+    @property
+    def page_size(self) -> int:
+        """Page size in bytes."""
+        return 1 << self.page_bits
+
+    @property
+    def vpn_bits(self) -> int:
+        """Width of a virtual page number (Figure 1: 52 for 64/4K)."""
+        return self.va_bits - self.page_bits
+
+    @property
+    def pfn_bits(self) -> int:
+        """Width of a physical frame number (24 for 36-bit PA, 4K pages)."""
+        return self.pa_bits - self.page_bits
+
+    @property
+    def line_offset_bits(self) -> int:
+        """log2 of the cache line size."""
+        return self.cache_line_bytes.bit_length() - 1
+
+    def vpn(self, vaddr: int) -> int:
+        """Extract the virtual page number from a virtual address."""
+        return vaddr >> self.page_bits
+
+    def page_offset(self, vaddr: int) -> int:
+        """Extract the within-page offset from a virtual address."""
+        return vaddr & (self.page_size - 1)
+
+    def vaddr(self, vpn: int, offset: int = 0) -> int:
+        """Compose a virtual address from a page number and offset."""
+        return (vpn << self.page_bits) | offset
+
+
+#: Default parameters used throughout the paper's examples.
+DEFAULT_PARAMS = MachineParams()

@@ -1,0 +1,305 @@
+"""The Protection Lookaside Buffer (Section 3.2.1, Figure 1).
+
+The PLB is the paper's central hardware proposal: a cache of protection
+mappings on a per-domain, per-page basis.  Each entry grants one
+protection domain a set of access rights on one protection unit; it
+contains *no* translation information, which is what lets it pair with a
+virtually indexed, virtually tagged data cache and lets the TLB fall off
+the critical path.
+
+Beyond the base design, this implementation supports the Section 4.3
+extensions: protection units both larger than a translation page (one
+entry spanning a whole aligned segment, cutting the duplication cost of
+sharing) and smaller than a page (sub-page units, e.g. the 128-byte lock
+granules the IBM 801 uses for database locking).  A protection unit at
+*level* ``s`` covers ``2**s`` translation pages when ``s >= 0``, or
+``2**-s``-th of a page when ``s < 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.params import MachineParams, DEFAULT_PARAMS
+from repro.core.rights import Rights
+from repro.hardware.assoc import AssocCache
+from repro.sim.stats import Stats
+
+
+@dataclass(frozen=True)
+class PLBKey:
+    """Identity of one PLB entry: (domain, protection-unit, level)."""
+
+    pd_id: int
+    unit: int
+    level: int
+
+
+@dataclass
+class PLBEntry:
+    """The payload of a PLB entry: just the access rights (Figure 1)."""
+
+    rights: Rights
+
+
+class ProtectionLookasideBuffer:
+    """A set-associative, LRU cache of (PD-ID, unit) -> rights mappings.
+
+    Args:
+        entries: Total entries.
+        ways: Associativity (defaults to fully associative, as in
+            Figure 1).
+        levels: Protection-unit levels supported, in pages-log2.  The
+            default ``(0,)`` is the base design (protection unit ==
+            translation page).  ``(0, 4)`` adds 16-page superpage
+            protection entries; ``(-5, 0)`` adds 128-byte sub-page units
+            for 4 Kbyte pages.  A lookup probes every level; a hit at any
+            level is a PLB hit.
+        params: Machine parameters (for unit arithmetic).
+        stats: Event sink.
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        ways: int | None = None,
+        *,
+        levels: Iterable[int] = (0,),
+        params: MachineParams = DEFAULT_PARAMS,
+        stats: Stats | None = None,
+        name: str = "plb",
+    ) -> None:
+        self.params = params
+        self.name = name
+        self.stats = stats if stats is not None else Stats()
+        self.levels = tuple(sorted(set(levels), reverse=True))
+        if not self.levels:
+            raise ValueError("at least one protection-unit level is required")
+        for level in self.levels:
+            if level < 0 and -level > params.page_bits:
+                raise ValueError(f"sub-page level {level} finer than a byte")
+        # The underlying store keeps its own throwaway counters; the PLB
+        # accounts hits and misses once per lookup across all levels.
+        self._store: AssocCache[PLBKey, PLBEntry] = AssocCache(
+            entries,
+            ways,
+            name="_raw",
+            stats=Stats(),
+            set_of=lambda key: key.unit,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Unit arithmetic
+
+    def unit_for(self, vaddr: int, level: int) -> int:
+        """The protection-unit number containing ``vaddr`` at ``level``."""
+        shift = self.params.page_bits + level
+        if shift < 0:
+            raise ValueError(f"level {level} below byte granularity")
+        return vaddr >> shift
+
+    def unit_span_pages(self, level: int) -> int:
+        """How many translation pages one unit at ``level`` covers (>=1)."""
+        return 1 << level if level >= 0 else 1
+
+    # ------------------------------------------------------------------ #
+    # The reference path
+
+    def lookup(self, pd_id: int, vaddr: int) -> Rights | None:
+        """Probe for the current domain's rights on ``vaddr``.
+
+        All configured levels are probed (hardware would do so in
+        parallel); a hit at any level supplies the rights.  Returns None
+        on a PLB miss, in which case the protection mapping must be
+        loaded from the domain's protection table.
+        """
+        for level in self.levels:
+            key = PLBKey(pd_id, self.unit_for(vaddr, level), level)
+            entry = self._store.lookup(key)
+            if entry is not None:
+                self.stats.inc(f"{self.name}.hit")
+                return entry.rights
+        self.stats.inc(f"{self.name}.miss")
+        return None
+
+    def fill(self, pd_id: int, vaddr: int, rights: Rights, *, level: int = 0) -> None:
+        """Load a protection mapping (after a PLB miss)."""
+        if level not in self.levels:
+            raise ValueError(f"level {level} not configured (have {self.levels})")
+        key = PLBKey(pd_id, self.unit_for(vaddr, level), level)
+        self._store.fill(key, PLBEntry(rights=rights))
+        self.stats.inc(f"{self.name}.fill")
+
+    # ------------------------------------------------------------------ #
+    # Kernel maintenance operations (the Table 1 verbs)
+
+    def update_rights(self, pd_id: int, vaddr: int, rights: Rights) -> bool:
+        """Rewrite one resident entry's rights in place.
+
+        The cheap PLB operation Table 1 credits for per-domain permission
+        changes ("simply requires updating a PLB entry").  Returns False
+        when no entry is resident (nothing to do: the new rights will be
+        faulted in lazily).
+        """
+        for level in self.levels:
+            key = PLBKey(pd_id, self.unit_for(vaddr, level), level)
+            if self._store.update(key, PLBEntry(rights=rights)):
+                self.stats.inc(f"{self.name}.update")
+                return True
+        return False
+
+    def invalidate(self, pd_id: int, vaddr: int) -> bool:
+        """Remove one domain's entry covering ``vaddr`` (any level).
+
+        Returns True when an entry was resident.  Used for targeted
+        revocations (e.g. stealing a sub-page lock unit from another
+        domain) where a range sweep would overcharge.
+        """
+        for level in self.levels:
+            key = PLBKey(pd_id, self.unit_for(vaddr, level), level)
+            if self._store.invalidate(key):
+                self.stats.inc(f"{self.name}.invalidate")
+                return True
+        return False
+
+    def purge_domain_range(self, pd_id: int, vpn_lo: int, vpn_hi: int) -> tuple[int, int]:
+        """Remove a domain's entries for pages in ``[vpn_lo, vpn_hi)``.
+
+        This is segment detach (Table 1): "inspect each entry and
+        eliminate those for the segment-domain pair affected".  Returns
+        ``(inspected, removed)``.
+        """
+        inspected, removed = self._store.sweep(
+            lambda key, _: key.pd_id == pd_id
+            and self._overlaps(key, vpn_lo, vpn_hi)
+        )
+        self.stats.inc(f"{self.name}.sweep_inspected", inspected)
+        self.stats.inc(f"{self.name}.sweep_removed", removed)
+        return inspected, removed
+
+    def sweep_domain_range(
+        self,
+        pd_id: int,
+        vpn_lo: int,
+        vpn_hi: int,
+        new_rights: Rights,
+    ) -> tuple[int, int]:
+        """Downgrade (in place) a domain's entries within a page range.
+
+        Models Table 1 operations phrased as "inspect each entry in the
+        PLB, marking those for from-space as no access" — a sweep that
+        rewrites rather than removes.  Returns ``(inspected, changed)``.
+        """
+        inspected = 0
+        changed = 0
+        for key, entry in self._store.items():
+            inspected += 1
+            if key.pd_id == pd_id and self._overlaps(key, vpn_lo, vpn_hi):
+                entry.rights = new_rights
+                changed += 1
+        self.stats.inc(f"{self.name}.sweep_inspected", inspected)
+        self.stats.inc(f"{self.name}.sweep_updated", changed)
+        return inspected, changed
+
+    def update_entries_for_page(
+        self,
+        vpn: int,
+        rights: Rights,
+        pd_id: int | None = None,
+    ) -> tuple[int, int]:
+        """Rewrite rights in place on every resident entry for a page.
+
+        With ``pd_id`` given, only that domain's entries change; otherwise
+        all domains' entries for the page are rewritten — the Table 1
+        "Invalidate: set access rights to none in the PLB" operation,
+        whose cost is "the number of entries changed depends on the
+        number of domains that have access to the page" (Section 4.1.3).
+
+        Superpage or sub-page entries overlapping the page cannot be
+        rewritten in place (the new rights apply to one page, not the
+        whole unit); those are removed and refault at page granularity.
+        Returns ``(inspected, changed)`` where removed entries count as
+        changed.
+        """
+        inspected = 0
+        changed = 0
+        doomed: list[PLBKey] = []
+        for key, entry in self._store.items():
+            inspected += 1
+            if pd_id is not None and key.pd_id != pd_id:
+                continue
+            if not self._overlaps(key, vpn, vpn + 1):
+                continue
+            if key.level == 0:
+                entry.rights = rights
+            else:
+                doomed.append(key)
+            changed += 1
+        for key in doomed:
+            self._store.invalidate(key)
+        self.stats.inc(f"{self.name}.sweep_inspected", inspected)
+        self.stats.inc(f"{self.name}.sweep_updated", changed)
+        return inspected, changed
+
+    def purge_page(self, vpn: int) -> tuple[int, int]:
+        """Remove every domain's entries touching one page.
+
+        Used when a page's rights change for all domains at once.
+        Returns ``(inspected, removed)``.
+        """
+        inspected, removed = self._store.sweep(
+            lambda key, _: self._overlaps(key, vpn, vpn + 1)
+        )
+        self.stats.inc(f"{self.name}.sweep_inspected", inspected)
+        self.stats.inc(f"{self.name}.sweep_removed", removed)
+        return inspected, removed
+
+    def purge_all(self) -> int:
+        """Full PLB flush; returns entries removed."""
+        removed = self._store.purge()
+        self.stats.inc(f"{self.name}.purge")
+        self.stats.inc(f"{self.name}.purge_removed", removed)
+        return removed
+
+    def _overlaps(self, key: PLBKey, vpn_lo: int, vpn_hi: int) -> bool:
+        """Does the entry's protection unit overlap the page range?"""
+        if key.level >= 0:
+            unit_lo = key.unit << key.level
+            unit_hi = unit_lo + (1 << key.level)
+        else:
+            unit_lo = key.unit >> -key.level
+            unit_hi = unit_lo + 1
+        return unit_lo < vpn_hi and unit_hi > vpn_lo
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def resident(self, pd_id: int, vaddr: int) -> Rights | None:
+        """Rights currently cached for (domain, address), without counting."""
+        for level in self.levels:
+            entry = self._store.peek(PLBKey(pd_id, self.unit_for(vaddr, level), level))
+            if entry is not None:
+                return entry.rights
+        return None
+
+    def entries_for_domain(self, pd_id: int) -> int:
+        return sum(1 for key, _ in self._store.items() if key.pd_id == pd_id)
+
+    def entries_for_page(self, vpn: int) -> int:
+        """Replication count: how many domains hold entries on this page."""
+        return sum(1 for key, _ in self._store.items() if self._overlaps(key, vpn, vpn + 1))
+
+    def items(self) -> Iterable[tuple[PLBKey, PLBEntry]]:
+        return self._store.items()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def occupancy(self) -> float:
+        return self._store.occupancy
+
+    @property
+    def entries(self) -> int:
+        return self._store.entries

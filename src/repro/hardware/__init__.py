@@ -1,0 +1,16 @@
+"""Hardware substrates: associative structures, TLBs, caches, memory.
+
+Everything here is protection-model agnostic: set-associative LRU
+lookup (:mod:`~repro.hardware.assoc`), the three TLB organizations
+(:mod:`~repro.hardware.tlb`), VIVT/VIPT/PIPT data caches with synonym
+and homonym detection (:mod:`~repro.hardware.cache`), control registers
+(:mod:`~repro.hardware.registers`), physical frames
+(:mod:`~repro.hardware.memory`) and the disk model
+(:mod:`~repro.hardware.backing`).
+"""
+
+from repro.hardware.assoc import AssocCache
+from repro.hardware.cache import CacheOrg, DataCache
+from repro.hardware.memory import PhysicalMemory
+
+__all__ = ["AssocCache", "CacheOrg", "DataCache", "PhysicalMemory"]

@@ -1,0 +1,99 @@
+"""Backing store: the disk model behind paging and checkpointing.
+
+Two of the paper's Table 1 application classes move pages to and from
+secondary storage: concurrent checkpointing writes pages to disk, and
+compression paging compresses page images before writing them out
+(Appel & Li).  :class:`BackingStore` models a simple page-granular disk
+with per-operation counters, and :class:`CompressedStore` layers a
+compressor over it so the compression-paging workload exercises a real
+compress/decompress round trip.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.sim.stats import Stats
+
+
+@dataclass
+class BackingStore:
+    """A page-granular disk keyed by virtual page number.
+
+    In a single address space the virtual page number is a globally unique
+    name, so it doubles as the stable disk address of the page — one of
+    the simplifications SASOS designs like Opal exploit for persistent
+    storage.
+    """
+
+    stats: Stats = field(default_factory=Stats)
+
+    def __post_init__(self) -> None:
+        self._pages: dict[int, bytes] = {}
+
+    def write(self, vpn: int, data: bytes) -> None:
+        self._pages[vpn] = data
+        self.stats.inc("disk.write")
+        self.stats.inc("disk.bytes_written", len(data))
+
+    def read(self, vpn: int) -> bytes:
+        self.stats.inc("disk.read")
+        try:
+            data = self._pages[vpn]
+        except KeyError:
+            raise KeyError(f"page {vpn:#x} is not on backing store") from None
+        self.stats.inc("disk.bytes_read", len(data))
+        return data
+
+    def discard(self, vpn: int) -> bool:
+        """Drop a stored page; True if it was present."""
+        if vpn in self._pages:
+            del self._pages[vpn]
+            self.stats.inc("disk.discard")
+            return True
+        return False
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+@dataclass
+class CompressedStore:
+    """A backing store that compresses page images (Appel & Li paging).
+
+    Compression happens with zlib so the workload pays a real (if small)
+    computational cost and the achieved ratio is data-dependent, as in the
+    paper's motivating scenario where compression trades CPU for I/O.
+    """
+
+    store: BackingStore = field(default_factory=BackingStore)
+    level: int = 6
+    stats: Stats = field(default_factory=Stats)
+
+    def page_out(self, vpn: int, data: bytes) -> int:
+        """Compress and store a page; returns the compressed size."""
+        packed = zlib.compress(data, self.level)
+        self.store.write(vpn, packed)
+        self.stats.inc("compress.page_out")
+        self.stats.inc("compress.raw_bytes", len(data))
+        self.stats.inc("compress.stored_bytes", len(packed))
+        return len(packed)
+
+    def page_in(self, vpn: int) -> bytes:
+        """Fetch and decompress a page image."""
+        data = zlib.decompress(self.store.read(vpn))
+        self.stats.inc("compress.page_in")
+        return data
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self.store
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw bytes divided by stored bytes over the store's lifetime."""
+        stored = self.stats["compress.stored_bytes"]
+        return self.stats["compress.raw_bytes"] / stored if stored else 0.0

@@ -1,0 +1,132 @@
+"""Physical memory: frames, a frame allocator, and page contents.
+
+The simulator models physical memory at page-frame granularity.  Frames
+carry an optional payload (a ``bytes`` page image) so that workloads which
+move data — the compression pager, the checkpointer, distributed shared
+memory — exercise real data movement rather than bookkeeping alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.stats import Stats
+
+
+class OutOfMemoryError(RuntimeError):
+    """No free physical frames remain."""
+
+
+@dataclass
+class Frame:
+    """One physical page frame."""
+
+    pfn: int
+    data: bytes | None = None
+    #: The virtual page currently mapped here, if any.  In a single
+    #: address space there is at most one (no synonyms); the multi-AS
+    #: baseline instead tracks a set of mappings per frame.
+    vpn: int | None = None
+
+
+@dataclass
+class PhysicalMemory:
+    """A pool of page frames with a free-list allocator.
+
+    Args:
+        n_frames: Total frames available.
+        page_size: Bytes per page, used to validate stored page images.
+    """
+
+    n_frames: int
+    page_size: int = 4096
+    stats: Stats = field(default_factory=Stats)
+
+    def __post_init__(self) -> None:
+        if self.n_frames <= 0:
+            raise ValueError("memory needs at least one frame")
+        self._frames: dict[int, Frame] = {}
+        self._free: list[int] = list(range(self.n_frames - 1, -1, -1))
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+
+    def allocate(self, vpn: int | None = None) -> Frame:
+        """Take a free frame, optionally recording the VPN it will map."""
+        if not self._free:
+            raise OutOfMemoryError(f"all {self.n_frames} frames in use")
+        pfn = self._free.pop()
+        frame = Frame(pfn=pfn, vpn=vpn)
+        self._frames[pfn] = frame
+        self.stats.inc("memory.allocate")
+        return frame
+
+    def allocate_contiguous(self, n_frames: int, *, align: int = 1) -> list[Frame]:
+        """Take ``n_frames`` physically contiguous frames.
+
+        Needed for translation superpages (Section 4.3: "larger physical
+        pages are attractive, because they improve TLB performance"): a
+        single TLB entry can only cover a naturally aligned, physically
+        contiguous run of frames.  Raises OutOfMemoryError when no
+        suitable run exists (external fragmentation).
+        """
+        if n_frames <= 0:
+            raise ValueError("need at least one frame")
+        if align <= 0 or align & (align - 1):
+            raise ValueError("alignment must be a positive power of two")
+        free_set = set(self._free)
+        for base in sorted(free_set):
+            if base % align:
+                continue
+            if all(base + offset in free_set for offset in range(n_frames)):
+                chosen = set(range(base, base + n_frames))
+                self._free = [pfn for pfn in self._free if pfn not in chosen]
+                frames = []
+                for picked in sorted(chosen):
+                    frame = Frame(pfn=picked)
+                    self._frames[picked] = frame
+                    frames.append(frame)
+                self.stats.inc("memory.allocate", n_frames)
+                self.stats.inc("memory.allocate_contiguous")
+                return frames
+        raise OutOfMemoryError(
+            f"no aligned contiguous run of {n_frames} frames available"
+        )
+
+    def release(self, pfn: int) -> None:
+        """Return a frame to the free list, discarding its contents."""
+        frame = self._frames.pop(pfn, None)
+        if frame is None:
+            raise KeyError(f"frame {pfn} is not allocated")
+        self._free.append(pfn)
+        self.stats.inc("memory.release")
+
+    def frame(self, pfn: int) -> Frame:
+        """The live Frame object for ``pfn`` (KeyError if unallocated)."""
+        return self._frames[pfn]
+
+    def is_allocated(self, pfn: int) -> bool:
+        return pfn in self._frames
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_frames(self) -> int:
+        return len(self._frames)
+
+    # ------------------------------------------------------------------ #
+    # Page contents
+
+    def write_page(self, pfn: int, data: bytes) -> None:
+        """Store a full page image into a frame."""
+        if len(data) > self.page_size:
+            raise ValueError(f"page image of {len(data)} bytes exceeds page size")
+        self.frame(pfn).data = data
+        self.stats.inc("memory.page_write")
+
+    def read_page(self, pfn: int) -> bytes | None:
+        """The page image stored in a frame (None if never written)."""
+        self.stats.inc("memory.page_read")
+        return self.frame(pfn).data

@@ -1,0 +1,278 @@
+"""Translation lookaside buffer variants for the three memory systems.
+
+The paper contrasts three TLB organizations (Sections 3.1 and 3.2):
+
+* :class:`TranslationTLB` — the PLB system's TLB.  It holds *only*
+  virtual-to-physical translations plus dirty/referenced bits; protection
+  lives in the PLB.  One entry per page regardless of how many domains
+  share it, and the TLB sits off the critical path (it is consulted only
+  on data-cache misses and writebacks), so it can be large.
+
+* :class:`AIDTaggedTLB` — the PA-RISC page-group system's TLB.  Each entry
+  carries the translation, the page's access-rights field, and the AID
+  (page-group number) checked against the PID registers.  Still one entry
+  per page, but the TLB must be probed on *every* reference, so it stays
+  on chip.
+
+* :class:`ASIDTaggedTLB` — the conventional multi-address-space TLB of
+  Section 3.1, tagged with an address-space identifier and combining
+  translation with protection.  Sharing a page among N domains replicates
+  the translation N times, the duplication the paper identifies as waste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.assoc import AssocCache
+from repro.core.rights import Rights
+from repro.sim.stats import Stats
+
+
+@dataclass
+class TranslationEntry:
+    """A pure translation plus dirty/referenced bits.
+
+    ``pfn`` is the frame of the unit's *first* page; for a level-0
+    (single page) entry that is the page's own frame.  A superpage entry
+    at level L covers ``2**L`` contiguous pages backed by ``2**L``
+    contiguous frames (Section 4.3 / Talluri et al.).
+    """
+
+    pfn: int
+    level: int = 0
+    dirty: bool = False
+    referenced: bool = False
+
+    def pfn_for(self, vpn: int) -> int:
+        """The frame backing ``vpn`` within this entry's unit."""
+        if self.level == 0:
+            return self.pfn
+        offset = vpn - ((vpn >> self.level) << self.level)
+        return self.pfn + offset
+
+
+@dataclass
+class PageGroupEntry:
+    """An AID-tagged TLB entry: translation + rights + page-group number."""
+
+    pfn: int
+    rights: Rights
+    aid: int
+    dirty: bool = False
+    referenced: bool = False
+
+
+@dataclass
+class CombinedEntry:
+    """A conventional TLB entry: translation + per-domain rights."""
+
+    pfn: int
+    rights: Rights
+    dirty: bool = False
+    referenced: bool = False
+
+
+class TranslationTLB:
+    """Translation-only TLB keyed by VPN (the PLB system's second level).
+
+    Because entries contain no protection, a purge is required "only on
+    the change of a virtual-to-physical translation" (Section 3.2.1) —
+    domain switches leave it untouched.
+
+    ``levels`` enables multiple translation page sizes (Section 4.3,
+    after Talluri et al.): an entry at level L maps ``2**L`` virtually
+    and physically contiguous pages, multiplying TLB reach.  A lookup
+    probes every configured level; the default ``(0,)`` is the classic
+    single-size TLB.
+    """
+
+    def __init__(self, entries: int, ways: int | None = None, *,
+                 levels: tuple[int, ...] = (0,),
+                 stats: Stats | None = None, name: str = "tlb") -> None:
+        if not levels or any(level < 0 for level in levels):
+            raise ValueError("levels must be non-empty, non-negative page shifts")
+        self.stats = stats if stats is not None else Stats()
+        self.name = name
+        self.levels = tuple(sorted(set(levels), reverse=True))
+        # The store keeps private counters; hits/misses are accounted
+        # once per lookup across all probed levels.
+        self._cache: AssocCache[tuple[int, int], TranslationEntry] = AssocCache(
+            entries, ways, name="_raw", stats=Stats(), set_of=lambda key: key[1]
+        )
+
+    def lookup(self, vpn: int) -> TranslationEntry | None:
+        """Probe all levels for a translation covering ``vpn``."""
+        for level in self.levels:
+            entry = self._cache.lookup((level, vpn >> level))
+            if entry is not None:
+                self.stats.inc(f"{self.name}.hit")
+                return entry
+        self.stats.inc(f"{self.name}.miss")
+        return None
+
+    def fill(self, vpn: int, pfn: int, *, level: int = 0,
+             dirty: bool = False) -> TranslationEntry:
+        """Install a translation; ``pfn`` is the unit's base frame."""
+        if level not in self.levels:
+            raise ValueError(f"level {level} not configured (have {self.levels})")
+        entry = TranslationEntry(pfn=pfn, level=level, dirty=dirty, referenced=True)
+        self._cache.fill((level, vpn >> level), entry)
+        self.stats.inc(f"{self.name}.fill")
+        return entry
+
+    def invalidate(self, vpn: int) -> bool:
+        """Drop the translation covering ``vpn`` (any level)."""
+        for level in self.levels:
+            if self._cache.invalidate((level, vpn >> level)):
+                self.stats.inc(f"{self.name}.invalidate")
+                return True
+        return False
+
+    def purge(self) -> int:
+        removed = self._cache.purge()
+        self.stats.inc(f"{self.name}.purge")
+        self.stats.inc(f"{self.name}.purge_removed", removed)
+        return removed
+
+    def __contains__(self, vpn: int) -> bool:
+        return any(
+            self._cache.peek((level, vpn >> level)) is not None
+            for level in self.levels
+        )
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def occupancy(self) -> float:
+        return self._cache.occupancy
+
+    def reach_pages(self) -> int:
+        """Total pages covered by the resident entries (TLB reach)."""
+        return sum(1 << key[0] for key, _ in self._cache.items())
+
+
+class AIDTaggedTLB:
+    """The PA-RISC-style TLB: one entry per page with rights and an AID.
+
+    The rights and AID are shared by every domain that can reach the page;
+    which domains those are is decided by the page-group cache, not here.
+    """
+
+    def __init__(self, entries: int, ways: int | None = None, *,
+                 stats: Stats | None = None, name: str = "pgtlb") -> None:
+        self.stats = stats if stats is not None else Stats()
+        self._cache: AssocCache[int, PageGroupEntry] = AssocCache(
+            entries, ways, name=name, stats=self.stats, set_of=lambda vpn: vpn
+        )
+
+    def lookup(self, vpn: int) -> PageGroupEntry | None:
+        return self._cache.lookup(vpn)
+
+    def fill(self, vpn: int, pfn: int, rights: Rights, aid: int) -> PageGroupEntry:
+        entry = PageGroupEntry(pfn=pfn, rights=rights, aid=aid, referenced=True)
+        self._cache.fill(vpn, entry)
+        return entry
+
+    def update(self, vpn: int, *, rights: Rights | None = None, aid: int | None = None) -> bool:
+        """Rewrite the rights and/or AID of a resident entry.
+
+        This is the page-group model's cheap path for protection changes
+        that affect *all* domains (Table 1: "the change is easily made in
+        a single TLB entry").
+        """
+        entry = self._cache.peek(vpn)
+        if entry is None:
+            return False
+        if rights is not None:
+            entry.rights = rights
+        if aid is not None:
+            entry.aid = aid
+        self.stats.inc(f"{self._cache.name}.update")
+        return True
+
+    def invalidate(self, vpn: int) -> bool:
+        return self._cache.invalidate(vpn)
+
+    def purge(self) -> int:
+        return self._cache.purge()
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def occupancy(self) -> float:
+        return self._cache.occupancy
+
+
+class ASIDTaggedTLB:
+    """Conventional TLB keyed by (ASID, VPN), combining all three roles.
+
+    The structure the paper argues against for single address space use:
+    shared pages replicate entries per domain (Section 3.1), and changing
+    a page's translation requires sweeping out every domain's replica.
+    """
+
+    def __init__(self, entries: int, ways: int | None = None, *,
+                 stats: Stats | None = None, name: str = "asidtlb") -> None:
+        self.stats = stats if stats is not None else Stats()
+        self._cache: AssocCache[tuple[int, int], CombinedEntry] = AssocCache(
+            entries, ways, name=name, stats=self.stats, set_of=lambda key: key[1]
+        )
+
+    def lookup(self, asid: int, vpn: int) -> CombinedEntry | None:
+        return self._cache.lookup((asid, vpn))
+
+    def fill(self, asid: int, vpn: int, pfn: int, rights: Rights) -> CombinedEntry:
+        entry = CombinedEntry(pfn=pfn, rights=rights, referenced=True)
+        self._cache.fill((asid, vpn), entry)
+        return entry
+
+    def update_rights(self, asid: int, vpn: int, rights: Rights) -> bool:
+        entry = self._cache.peek((asid, vpn))
+        if entry is None:
+            return False
+        entry.rights = rights
+        self.stats.inc(f"{self._cache.name}.update")
+        return True
+
+    def invalidate_page(self, vpn: int) -> tuple[int, int]:
+        """Remove every domain's replica of a page's translation.
+
+        Returns ``(inspected, removed)``: the associative sweep the kernel
+        must perform to keep replicated entries coherent when a mapping
+        changes (Section 3.1).
+        """
+        return self._cache.sweep(lambda key, _: key[1] == vpn)
+
+    def invalidate_domain(self, asid: int) -> tuple[int, int]:
+        """Remove all entries belonging to one address space."""
+        return self._cache.sweep(lambda key, _: key[0] == asid)
+
+    def invalidate_domain_range(self, asid: int, vpn_lo: int, vpn_hi: int) -> tuple[int, int]:
+        """Remove one domain's entries for pages in ``[vpn_lo, vpn_hi)``.
+
+        The conventional analog of segment detach: the kernel must sweep
+        out the detaching domain's combined entries for the range.
+        """
+        return self._cache.sweep(
+            lambda key, _: key[0] == asid and vpn_lo <= key[1] < vpn_hi
+        )
+
+    def purge(self) -> int:
+        return self._cache.purge()
+
+    def replicas(self, vpn: int) -> int:
+        """How many domains currently hold an entry for this page."""
+        return sum(1 for (_, entry_vpn), _ in self._cache.items() if entry_vpn == vpn)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def occupancy(self) -> float:
+        return self._cache.occupancy

@@ -1,0 +1,10 @@
+"""The conventional multiple-address-space OS baseline (Section 2.2).
+
+Private per-process address spaces manufacture the synonyms and
+homonyms that make virtually indexed, virtually tagged caches hard —
+the problems a single address space dissolves.
+"""
+
+from repro.multias.osbase import AddressSpaceError, MultiASOS, Process
+
+__all__ = ["AddressSpaceError", "MultiASOS", "Process"]

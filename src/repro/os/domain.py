@@ -1,0 +1,65 @@
+"""Protection domains: the SASOS analog of a process's address space.
+
+A protection domain (Section 1) "defines the private data, code and
+stacks that an application can access, along with any data shared with
+other domains" — a private set of access privileges over globally
+addressable pages, not a private naming environment.
+
+The domain record holds the OS-level protection state for *both* models:
+
+* domain-page model — per-segment attachment rights plus sparse per-page
+  overrides (the PLB's backing data);
+* page-group model — the set of page-groups the domain holds, each with
+  its write-disable bit (the PID registers' backing data).
+
+The kernel's model strategy decides which half it consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rights import Rights
+from repro.hardware.registers import PIDEntry
+
+
+@dataclass
+class ProtectionDomain:
+    """One protection domain's kernel-side protection state."""
+
+    pd_id: int
+    name: str
+
+    #: Domain-page model: segment id -> rights granted at attach.
+    attachments: dict[int, Rights] = field(default_factory=dict)
+    #: Domain-page model: per-page rights overriding the attachment
+    #: (sparse; only pages that differ from the segment grant).
+    page_overrides: dict[int, Rights] = field(default_factory=dict)
+
+    #: Page-group model: group id -> PID entry (with write-disable bit).
+    groups: dict[int, PIDEntry] = field(default_factory=dict)
+
+    def is_attached(self, seg_id: int) -> bool:
+        return seg_id in self.attachments
+
+    def holds_group(self, group: int) -> bool:
+        return group in self.groups
+
+    def grant_group(self, group: int, *, write_disable: bool = False) -> PIDEntry:
+        """Record that this domain may access a page-group."""
+        entry = PIDEntry(group=group, write_disable=write_disable)
+        self.groups[group] = entry
+        return entry
+
+    def revoke_group(self, group: int) -> bool:
+        return self.groups.pop(group, None) is not None
+
+    def clear_overrides_in(self, vpn_lo: int, vpn_hi: int) -> int:
+        """Drop per-page overrides within a page range (on detach)."""
+        doomed = [vpn for vpn in self.page_overrides if vpn_lo <= vpn < vpn_hi]
+        for vpn in doomed:
+            del self.page_overrides[vpn]
+        return len(doomed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProtectionDomain({self.pd_id}, {self.name!r})"

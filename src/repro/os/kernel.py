@@ -1,0 +1,812 @@
+"""The single address space operating system kernel.
+
+The kernel owns the global structures of a SASOS — one translation table
+shared by all domains, the segment registry, the protection-domain
+records and the page-group tables — and drives one of the three memory
+systems from :mod:`repro.core.mmu`.  It implements the systems' *source*
+protocols (supplying protection and translation mappings on hardware
+misses) and exposes the operating-system operations whose costs the
+paper's Table 1 catalogues: segment attach/detach, per-page and
+per-segment permission changes, page-group manipulation, page unmapping
+and protection-domain switches.
+
+Model-specific behaviour is delegated to a strategy object
+(:class:`PLBOps`, :class:`PageGroupOps`, :class:`ConventionalOps`); each
+strategy performs exactly the hardware-structure manipulations the paper
+prescribes for its column of Table 1, charging them to the shared stats
+object, so benchmark comparisons between models fall directly out of the
+counters.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterable
+
+from repro.core.conventional import LinearPageTable
+from repro.core.mmu import (
+    ConventionalSystem,
+    FaultReason,
+    MemorySystem,
+    PageFault,
+    PageGroupSystem,
+    PLBSystem,
+    ProtectionFault,
+    ProtectionInfo,
+    TranslationInfo,
+)
+from repro.core.params import MachineParams, DEFAULT_PARAMS
+from repro.core.rights import Rights
+from repro.hardware.backing import BackingStore
+from repro.hardware.memory import PhysicalMemory
+from repro.hardware.registers import PIDEntry
+from repro.os.domain import ProtectionDomain
+from repro.os.pagetable import GlobalTranslationTable, GroupTable
+from repro.os.segment import AddressSpaceAllocator, VirtualSegment
+from repro.sim.stats import Stats
+
+#: The memory-system models a kernel can run on.
+MODELS = ("plb", "pagegroup", "conventional")
+
+
+class SegmentationViolation(Exception):
+    """A protection or page fault no handler claimed: the program dies."""
+
+
+class KernelError(RuntimeError):
+    """An operating-system invariant was violated by the caller."""
+
+
+class Kernel:
+    """A single address space OS instance over one memory system.
+
+    Args:
+        model: ``"plb"``, ``"pagegroup"`` or ``"conventional"``.
+        n_frames: Physical memory size in page frames.
+        params: Machine parameters shared with the hardware.
+        system_options: Extra keyword arguments forwarded to the memory
+            system constructor (PLB size, group-cache capacity, cache
+            organization, ...).
+        inverted_table: Back the global translation table with the
+            801-style inverted page table (§3.1) instead of the plain
+            map — same semantics, adds hash-probe accounting.
+        stats: Shared event sink; created when omitted.
+    """
+
+    def __init__(
+        self,
+        model: str = "plb",
+        *,
+        n_frames: int = 4096,
+        params: MachineParams = DEFAULT_PARAMS,
+        system_options: dict | None = None,
+        inverted_table: bool = False,
+        stats: Stats | None = None,
+    ) -> None:
+        if model not in MODELS:
+            raise ValueError(f"unknown model {model!r}; expected one of {MODELS}")
+        self.model = model
+        self.params = params
+        self.stats = stats if stats is not None else Stats()
+        self.memory = PhysicalMemory(n_frames, page_size=params.page_size, stats=self.stats)
+        self.backing = BackingStore(stats=self.stats)
+        if inverted_table:
+            from repro.os.inverted import InvertedPageTable
+
+            self.translations: GlobalTranslationTable = InvertedPageTable(
+                n_frames, stats=self.stats
+            )  # type: ignore[assignment]
+        else:
+            self.translations = GlobalTranslationTable()
+        self.group_table = GroupTable()
+        self.allocator = AddressSpaceAllocator()
+
+        self.domains: dict[int, ProtectionDomain] = {}
+        self.segments: dict[int, VirtualSegment] = {}
+        self._segment_bases: list[int] = []
+        self._segments_by_base: dict[int, VirtualSegment] = {}
+        self._next_pd = 1
+        self._next_seg = 1
+        self._next_aid = 1
+        #: Conventional-model space-accounting mirrors (per-domain linear
+        #: page tables, Section 3.1).
+        self.linear_tables: dict[int, LinearPageTable] = {}
+        #: Segments with physically contiguous frames eligible for one
+        #: superpage translation: seg_id -> base frame (Section 4.3).
+        self._contiguous: dict[int, int] = {}
+        self._protection_handlers: list[Callable[[ProtectionFault], bool]] = []
+        self._page_fault_handlers: list[Callable[[PageFault], bool]] = []
+
+        options = dict(system_options or {})
+        self.system: MemorySystem = self._build_system(model, options)
+        self.ops: ModelOps = {
+            "plb": PLBOps,
+            "pagegroup": PageGroupOps,
+            "conventional": ConventionalOps,
+        }[model](self)
+
+    def _build_system(self, model: str, options: dict) -> MemorySystem:
+        if model == "plb":
+            return PLBSystem(self, self, params=self.params, stats=self.stats, **options)
+        if model == "pagegroup":
+            return PageGroupSystem(self, params=self.params, stats=self.stats, **options)
+        return ConventionalSystem(self, params=self.params, stats=self.stats, **options)
+
+    # ------------------------------------------------------------------ #
+    # Kernel-entry accounting
+
+    def _trap(self, label: str) -> None:
+        """Charge one kernel entry (trap or protected syscall)."""
+        self.stats.inc("kernel.trap")
+        self.stats.inc(f"kernel.syscall.{label}")
+
+    # ------------------------------------------------------------------ #
+    # Hardware source protocols (miss handling)
+
+    def segment_at(self, vpn: int) -> VirtualSegment | None:
+        """The segment containing ``vpn``, if any (binary search)."""
+        idx = bisect.bisect_right(self._segment_bases, vpn) - 1
+        if idx < 0:
+            return None
+        segment = self._segments_by_base[self._segment_bases[idx]]
+        return segment if segment.contains(vpn) else None
+
+    def rights_for(self, pd_id: int, vpn: int) -> ProtectionInfo | None:
+        """ProtectionSource: the PLB refill path."""
+        domain = self.domains.get(pd_id)
+        if domain is None:
+            return None
+        segment = self.segment_at(vpn)
+        if segment is None or segment.seg_id not in domain.attachments:
+            return None
+        rights = domain.page_overrides.get(vpn, domain.attachments[segment.seg_id])
+        level = self._protection_level(domain, segment, vpn)
+        return ProtectionInfo(rights=rights, level=level)
+
+    def _protection_level(
+        self, domain: ProtectionDomain, segment: VirtualSegment, vpn: int
+    ) -> int:
+        """Pick the largest usable protection-unit level (Section 4.3).
+
+        A superpage entry is usable when the whole aligned unit lies
+        inside the segment and the domain has no per-page overrides
+        within it, so a single entry can speak for every covered page.
+        """
+        system = self.system
+        if not isinstance(system, PLBSystem):
+            return 0
+        candidates = [level for level in system.plb.levels if level > 0]
+        if not candidates:
+            return 0
+        for level in sorted(candidates, reverse=True):
+            unit_lo = (vpn >> level) << level
+            unit_hi = unit_lo + (1 << level)
+            if unit_lo < segment.base_vpn or unit_hi > segment.end_vpn:
+                continue
+            if any(unit_lo <= override < unit_hi for override in domain.page_overrides):
+                continue
+            return level
+        return 0
+
+    def translation_for(self, vpn: int) -> TranslationInfo | None:
+        """TranslationSource: the TLB refill path.
+
+        Segments created with ``contiguous=True`` whose frames are still
+        intact are mapped with one superpage entry (Section 4.3) when
+        the hardware TLB supports the matching level.
+        """
+        pfn = self.translations.pfn_for(vpn)
+        if pfn is None:
+            return None
+        segment = self.segment_at(vpn)
+        if segment is not None and segment.seg_id in self._contiguous:
+            level = (segment.n_pages - 1).bit_length()
+            system = self.system
+            if (
+                isinstance(system, PLBSystem)
+                and level in system.tlb.levels
+                and (segment.base_vpn >> level) << level == segment.base_vpn
+            ):
+                return TranslationInfo(pfn=self._contiguous[segment.seg_id], level=level)
+        return TranslationInfo(pfn=pfn, level=0)
+
+    def page_info(self, vpn: int) -> tuple[int, Rights, int] | None:
+        """GroupSource: the AID-tagged TLB refill path."""
+        pfn = self.translations.pfn_for(vpn)
+        if pfn is None:
+            return None
+        aid = self.group_table.aid_of(vpn)
+        rights = self.group_table.rights_of(vpn)
+        if aid is None or rights is None:
+            return None
+        return (pfn, rights, aid)
+
+    def domain_group_entry(self, pd_id: int, group: int) -> PIDEntry | None:
+        """GroupSource: the page-group-cache reload path."""
+        domain = self.domains.get(pd_id)
+        return domain.groups.get(group) if domain else None
+
+    def domain_groups(self, pd_id: int) -> Iterable[PIDEntry]:
+        """GroupSource: eager reload on a domain switch."""
+        domain = self.domains.get(pd_id)
+        return list(domain.groups.values()) if domain else []
+
+    def domain_page(self, pd_id: int, vpn: int) -> tuple[int, Rights] | None:
+        """DomainPageSource: the conventional TLB refill path."""
+        info = self.rights_for(pd_id, vpn)
+        if info is None:
+            return None
+        pfn = self.translations.pfn_for(vpn)
+        if pfn is None:
+            return None
+        return (pfn, info.rights)
+
+    def page_resident(self, vpn: int) -> bool:
+        return self.translations.is_resident(vpn)
+
+    # ------------------------------------------------------------------ #
+    # Domains and segments
+
+    def create_domain(self, name: str) -> ProtectionDomain:
+        """Create an (initially empty) protection domain."""
+        self._trap("create_domain")
+        domain = ProtectionDomain(pd_id=self._next_pd, name=name)
+        self._next_pd += 1
+        self.domains[domain.pd_id] = domain
+        if self.model == "conventional":
+            self.linear_tables[domain.pd_id] = LinearPageTable(self.params)
+        return domain
+
+    def create_segment(
+        self,
+        name: str,
+        n_pages: int,
+        *,
+        group_rights: Rights = Rights.RW,
+        populate: bool = True,
+        base_vpn: int | None = None,
+        contiguous: bool = False,
+    ) -> VirtualSegment:
+        """Create a virtual segment in the global address space.
+
+        ``group_rights`` is the page-group model's per-page rights field,
+        installed for every page of the new segment's group.  With
+        ``populate`` the segment's pages get frames immediately;
+        otherwise they are demand-zero.  ``base_vpn`` pins the segment to
+        an agreed global address (distributed SASOS nodes must agree on
+        shared-segment placement).  ``contiguous`` backs the segment with
+        physically contiguous frames so one superpage translation can
+        cover it (Section 4.3; requires a power-of-two page count and
+        implies ``populate``).
+        """
+        self._trap("create_segment")
+        if contiguous:
+            if n_pages & (n_pages - 1):
+                raise KernelError("contiguous segments need a power-of-two size")
+            populate = True
+        if base_vpn is None:
+            base = self.allocator.allocate(n_pages)
+        else:
+            base = self.allocator.reserve(base_vpn, n_pages)
+        aid = self._next_aid
+        self._next_aid += 1
+        segment = VirtualSegment(
+            seg_id=self._next_seg, name=name, base_vpn=base, n_pages=n_pages, aid=aid
+        )
+        self._next_seg += 1
+        self.segments[segment.seg_id] = segment
+        bisect.insort(self._segment_bases, base)
+        self._segments_by_base[base] = segment
+        if contiguous:
+            frames = self.memory.allocate_contiguous(n_pages)
+            self._contiguous[segment.seg_id] = frames[0].pfn
+            for vpn, frame in zip(segment.vpns(), frames):
+                frame.vpn = vpn
+                self.group_table.assign(vpn, aid, group_rights)
+                self.translations.map(vpn, frame.pfn)
+                self.ops.on_populate(vpn, frame.pfn)
+            return segment
+        for vpn in segment.vpns():
+            self.group_table.assign(vpn, aid, group_rights)
+            if populate:
+                self.populate_page(vpn)
+        return segment
+
+    def create_page_group(self) -> int:
+        """Allocate a fresh page-group identifier (page-group model)."""
+        aid = self._next_aid
+        self._next_aid += 1
+        return aid
+
+    def destroy_segment(self, segment: VirtualSegment) -> None:
+        """Destroy a segment: detach everyone, free pages, forget state.
+
+        The virtual addresses are *not* recycled — in a single address
+        space a name, once used, stays retired (dangling pointers into
+        the dead segment fault forever instead of aliasing new data).
+        """
+        self._trap("destroy_segment")
+        if segment.seg_id not in self.segments:
+            raise KernelError(f"{segment.name} is not a live segment")
+        for domain in self.attached_domains(segment):
+            self.ops.detach(domain, segment)
+        for vpn in segment.vpns():
+            if self.translations.is_resident(vpn):
+                self.free_page(vpn)
+            self.translations.forget(vpn)
+            self.group_table.forget(vpn)
+            self.backing.discard(vpn)
+        del self.segments[segment.seg_id]
+        self._segment_bases.remove(segment.base_vpn)
+        del self._segments_by_base[segment.base_vpn]
+
+    # ------------------------------------------------------------------ #
+    # The Table 1 verbs (model-dispatched)
+
+    def attach(self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights) -> None:
+        """Attach a segment to a domain with the given rights."""
+        self._trap("attach")
+        if domain.is_attached(segment.seg_id):
+            raise KernelError(f"{domain.name} already attached to {segment.name}")
+        self.ops.attach(domain, segment, rights)
+
+    def detach(self, domain: ProtectionDomain, segment: VirtualSegment) -> None:
+        """Detach a segment, revoking the domain's access."""
+        self._trap("detach")
+        if not domain.is_attached(segment.seg_id):
+            raise KernelError(f"{domain.name} is not attached to {segment.name}")
+        self.ops.detach(domain, segment)
+
+    def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
+        """Change one domain's rights on one page (others unaffected)."""
+        self._trap("set_page_rights")
+        self._require_attached(domain, vpn)
+        self.ops.set_page_rights(domain, vpn, rights)
+
+    def set_rights_all_domains(self, vpn: int, rights: Rights) -> None:
+        """Change every attached domain's rights on one page."""
+        self._trap("set_rights_all")
+        self.ops.set_rights_all(vpn, rights)
+
+    def set_segment_rights(
+        self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
+    ) -> None:
+        """Change one domain's rights uniformly over a whole segment."""
+        self._trap("set_segment_rights")
+        if not domain.is_attached(segment.seg_id):
+            raise KernelError(f"{domain.name} is not attached to {segment.name}")
+        self.ops.set_segment_rights(domain, segment, rights)
+
+    def switch_to(self, domain: ProtectionDomain) -> None:
+        """Protection-domain switch (Section 4.1.4)."""
+        self._trap("switch")
+        self.system.switch_domain(domain.pd_id)
+
+    def _require_attached(self, domain: ProtectionDomain, vpn: int) -> VirtualSegment:
+        segment = self.segment_at(vpn)
+        if segment is None:
+            raise KernelError(f"page {vpn:#x} is not in any segment")
+        if not domain.is_attached(segment.seg_id):
+            raise KernelError(f"{domain.name} is not attached to {segment.name}")
+        return segment
+
+    # ------------------------------------------------------------------ #
+    # Page-group primitives (page-group model policies build on these)
+
+    def _require_pagegroup(self) -> PageGroupSystem:
+        if not isinstance(self.system, PageGroupSystem):
+            raise KernelError("operation requires the page-group model")
+        return self.system
+
+    def grant_group(
+        self, domain: ProtectionDomain, aid: int, *, write_disable: bool = False
+    ) -> None:
+        """Give a domain access to a page-group (one PID-table update)."""
+        self._trap("grant_group")
+        system = self._require_pagegroup()
+        entry = domain.grant_group(aid, write_disable=write_disable)
+        if self.system.current_domain == domain.pd_id:
+            system.groups.install(entry)
+
+    def revoke_group(self, domain: ProtectionDomain, aid: int) -> None:
+        """Remove a domain's access to a page-group."""
+        self._trap("revoke_group")
+        system = self._require_pagegroup()
+        domain.revoke_group(aid)
+        if self.system.current_domain == domain.pd_id:
+            system.groups.drop(aid)
+
+    def move_page_to_group(self, vpn: int, aid: int, *, rights: Rights | None = None) -> int:
+        """Reassign a page to another group; updates the TLB entry in place.
+
+        Returns the page's previous group.  The paper's transactional and
+        paging recipes are built from this verb ("move this page to that
+        page group", Table 1).
+        """
+        self._trap("move_page")
+        system = self._require_pagegroup()
+        old = self.group_table.move(vpn, aid)
+        if rights is not None:
+            self.group_table.set_rights(vpn, rights)
+        system.tlb.update(vpn, rights=rights, aid=aid)
+        return old
+
+    def set_page_rights_global(self, vpn: int, rights: Rights) -> None:
+        """Rewrite a page's global rights field (page-group model).
+
+        The page-group model's cheap path: "the change is easily made in
+        a single TLB entry" when it applies to all domains (§4.1.2).
+        """
+        self._trap("set_page_rights_global")
+        system = self._require_pagegroup()
+        self.group_table.set_rights(vpn, rights)
+        system.tlb.update(vpn, rights=rights)
+
+    # ------------------------------------------------------------------ #
+    # Physical memory management
+
+    def populate_page(self, vpn: int) -> int:
+        """Allocate a frame and install the (unique) translation."""
+        if self.translations.is_resident(vpn):
+            raise KernelError(f"page {vpn:#x} already resident")
+        if self.segment_at(vpn) is None:
+            # Guards against resurrection of destroyed segments (e.g. a
+            # stale pager record paging a dead address back in).
+            raise KernelError(f"page {vpn:#x} is not in any live segment")
+        frame = self.memory.allocate(vpn)
+        self.translations.map(vpn, frame.pfn)
+        self.ops.on_populate(vpn, frame.pfn)
+        return frame.pfn
+
+    def unmap_page(self, vpn: int, *, flush_cache: bool = True) -> int:
+        """Remove a page's translation (Section 4.1.3's two steps).
+
+        Flushes the page's lines from the data cache (one operation per
+        line), removes the TLB entry (model-specific), and clears the
+        translation.  Protection state is untouched: on the PLB system
+        "no maintenance of the PLB is required" — stale entries drain by
+        replacement, and any touch faults on the missing translation.
+        Returns the freed frame number (still allocated; the caller
+        releases or recycles it).
+        """
+        self._trap("unmap_page")
+        pfn = self.translations.pfn_for(vpn)
+        if pfn is None:
+            raise KernelError(f"page {vpn:#x} is not resident")
+        segment = self.segment_at(vpn)
+        if segment is not None and segment.seg_id in self._contiguous:
+            # Breaking any page of a contiguous segment demotes the
+            # whole segment back to per-page translations.
+            del self._contiguous[segment.seg_id]
+        if flush_cache:
+            if self.system.dcache.org.virtually_tagged:
+                self.system.dcache.flush_page(vpn)
+            else:
+                self.system.dcache.flush_frame(pfn)
+        self.ops.invalidate_translation(vpn)
+        self.ops.on_unmap(vpn)
+        self.translations.unmap(vpn)
+        return pfn
+
+    def free_page(self, vpn: int, *, flush_cache: bool = True) -> None:
+        """Unmap a page and return its frame to the allocator."""
+        pfn = self.unmap_page(vpn, flush_cache=flush_cache)
+        self.memory.release(pfn)
+
+    # ------------------------------------------------------------------ #
+    # Fault handling
+
+    def add_protection_handler(self, handler: Callable[[ProtectionFault], bool]) -> None:
+        """Register a protection-fault handler (most recent tried first).
+
+        Handlers return True when they resolved the fault (the faulting
+        access will be retried) and False to decline it.
+        """
+        self._protection_handlers.append(handler)
+
+    def add_page_fault_handler(self, handler: Callable[[PageFault], bool]) -> None:
+        """Register a page-fault handler ahead of the default pager path."""
+        self._page_fault_handlers.append(handler)
+
+    def handle_protection_fault(self, fault: ProtectionFault) -> None:
+        """Deliver a protection fault; raises SegmentationViolation if unclaimed."""
+        self._trap("protection_fault")
+        self.stats.inc("kernel.fault.protection")
+        self.stats.inc(f"kernel.fault.protection.{fault.reason.value}")
+        for handler in reversed(self._protection_handlers):
+            if handler(fault):
+                return
+        raise SegmentationViolation(str(fault))
+
+    def handle_page_fault(self, fault: PageFault) -> None:
+        """Deliver a page fault: handlers first, then demand-zero fill."""
+        self._trap("page_fault")
+        self.stats.inc("kernel.fault.page")
+        for handler in reversed(self._page_fault_handlers):
+            if handler(fault):
+                return
+        vpn = self.params.vpn(fault.vaddr)
+        mapping = self.translations.mapping(vpn)
+        if mapping is not None and mapping.on_disk:
+            raise SegmentationViolation(
+                f"page {vpn:#x} is on backing store but no pager is registered"
+            )
+        if self.segment_at(vpn) is None:
+            raise SegmentationViolation(str(fault))
+        # Demand-zero: the page belongs to a segment but has no frame.
+        self.populate_page(vpn)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def attached_domains(self, segment: VirtualSegment) -> list[ProtectionDomain]:
+        return [d for d in self.domains.values() if d.is_attached(segment.seg_id)]
+
+
+# --------------------------------------------------------------------- #
+# Model strategies
+
+
+class ModelOps:
+    """Model-specific implementations of the Table 1 verbs."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    def attach(self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights) -> None:
+        raise NotImplementedError
+
+    def detach(self, domain: ProtectionDomain, segment: VirtualSegment) -> None:
+        raise NotImplementedError
+
+    def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
+        raise NotImplementedError
+
+    def set_rights_all(self, vpn: int, rights: Rights) -> None:
+        raise NotImplementedError
+
+    def set_segment_rights(
+        self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
+    ) -> None:
+        raise NotImplementedError
+
+    def invalidate_translation(self, vpn: int) -> None:
+        raise NotImplementedError
+
+    def on_populate(self, vpn: int, pfn: int) -> None:
+        """Hook: a page just became resident."""
+
+    def on_unmap(self, vpn: int) -> None:
+        """Hook: a page's translation was just removed."""
+
+
+class PLBOps(ModelOps):
+    """Domain-page model: the PLB column of Table 1."""
+
+    @property
+    def system(self) -> PLBSystem:
+        system = self.kernel.system
+        assert isinstance(system, PLBSystem)
+        return system
+
+    def attach(self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights) -> None:
+        # "The operating system simply marks the segment as accessible
+        # by the protection domain; no hardware structures need to be
+        # manipulated" — entries fault in lazily (Table 1).
+        domain.attachments[segment.seg_id] = rights
+
+    def detach(self, domain: ProtectionDomain, segment: VirtualSegment) -> None:
+        # "Purge the PLB or inspect each entry and eliminate those for
+        # the segment-domain pair affected" (Table 1).
+        del domain.attachments[segment.seg_id]
+        domain.clear_overrides_in(segment.base_vpn, segment.end_vpn)
+        self.system.plb.purge_domain_range(domain.pd_id, segment.base_vpn, segment.end_vpn)
+
+    def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
+        # "Changing a domain's access rights to a page simply requires
+        # updating a PLB entry" (§4.1.2).
+        domain.page_overrides[vpn] = rights
+        plb = self.system.plb
+        if len(plb.levels) > 1 or plb.levels != (0,):
+            # Superpage or sub-page entries may cover this page with the
+            # old uniform rights; they can no longer speak for it.
+            plb.purge_domain_range(domain.pd_id, vpn, vpn + 1)
+        else:
+            vaddr = self.kernel.params.vaddr(vpn)
+            plb.update_rights(domain.pd_id, vaddr, rights)
+
+    def set_rights_all(self, vpn: int, rights: Rights) -> None:
+        # One PLB entry per domain with access must change (§4.1.3: "the
+        # number of entries changed depends on the number of domains
+        # that have access to the page").
+        segment = self.kernel.segment_at(vpn)
+        if segment is not None:
+            for domain in self.kernel.attached_domains(segment):
+                domain.page_overrides[vpn] = rights
+        self.system.plb.update_entries_for_page(vpn, rights)
+
+    def set_segment_rights(
+        self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
+    ) -> None:
+        # Uniform change: rewrite the attachment, drop per-page
+        # exceptions, and sweep-update the domain's resident entries.
+        domain.attachments[segment.seg_id] = rights
+        domain.clear_overrides_in(segment.base_vpn, segment.end_vpn)
+        self.system.plb.sweep_domain_range(
+            domain.pd_id, segment.base_vpn, segment.end_vpn, rights
+        )
+
+    def invalidate_translation(self, vpn: int) -> None:
+        # Only the translation dies; the PLB needs no maintenance
+        # (§4.1.3).
+        self.system.tlb.invalidate(vpn)
+
+
+class PageGroupOps(ModelOps):
+    """Page-group model: the PA-RISC column of Table 1."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        super().__init__(kernel)
+        #: Domain-private groups created on demand for per-domain page
+        #: rights (the "two additional page-groups" of §4.1.2).
+        self._private_groups: dict[int, int] = {}
+
+    @property
+    def system(self) -> PageGroupSystem:
+        system = self.kernel.system
+        assert isinstance(system, PageGroupSystem)
+        return system
+
+    def attach(self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights) -> None:
+        # "Merely adds the page-group representing the segment to the set
+        # of groups accessible to the current domain, possibly adding an
+        # entry for it in the page-group cache" (Table 1).  A read-only
+        # attachment is expressed with the PID write-disable bit.
+        domain.attachments[segment.seg_id] = rights
+        if rights == Rights.NONE:
+            return
+        entry = domain.grant_group(segment.aid, write_disable=not rights & Rights.WRITE)
+        if self.kernel.system.current_domain == domain.pd_id:
+            self.system.groups.install(entry)
+
+    def detach(self, domain: ProtectionDomain, segment: VirtualSegment) -> None:
+        # "Remove the appropriate page-group identifier from the set of
+        # page-groups accessible to the current domain, and purge it
+        # from the page-group cache" (Table 1).
+        del domain.attachments[segment.seg_id]
+        domain.revoke_group(segment.aid)
+        if self.kernel.system.current_domain == domain.pd_id:
+            self.system.groups.drop(segment.aid)
+
+    def _private_group_for(self, domain: ProtectionDomain) -> int:
+        aid = self._private_groups.get(domain.pd_id)
+        if aid is None:
+            aid = self.kernel.create_page_group()
+            self._private_groups[domain.pd_id] = aid
+        return aid
+
+    def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
+        # Per-domain rights cannot be expressed inside a shared group:
+        # the page must move to a group private to the domain (§4.1.2's
+        # read-write-pages-in-a-read-only-segment example).  Other
+        # domains consequently lose access to the page until it moves
+        # back — the global nature of page-group protection.
+        aid = self._private_group_for(domain)
+        if not domain.holds_group(aid):
+            entry = domain.grant_group(aid)
+            if self.kernel.system.current_domain == domain.pd_id:
+                self.system.groups.install(entry)
+        self.kernel.group_table.move(vpn, aid)
+        self.kernel.group_table.set_rights(vpn, rights)
+        self.system.tlb.update(vpn, rights=rights, aid=aid)
+
+    def set_rights_all(self, vpn: int, rights: Rights) -> None:
+        # "The change is easily made in a single TLB entry" (§4.1.2).
+        self.kernel.group_table.set_rights(vpn, rights)
+        self.system.tlb.update(vpn, rights=rights)
+
+    def set_segment_rights(
+        self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
+    ) -> None:
+        # Per-domain, whole-segment changes map onto the PID
+        # write-disable bit; revocation drops the group.
+        domain.attachments[segment.seg_id] = rights
+        current = self.kernel.system.current_domain == domain.pd_id
+        if rights == Rights.NONE:
+            domain.revoke_group(segment.aid)
+            if current:
+                self.system.groups.drop(segment.aid)
+            return
+        entry = domain.grant_group(segment.aid, write_disable=not rights & Rights.WRITE)
+        if current:
+            self.system.groups.install(entry)
+
+    def invalidate_translation(self, vpn: int) -> None:
+        self.system.tlb.invalidate(vpn)
+
+
+class ConventionalOps(ModelOps):
+    """Conventional ASID-tagged model: the Section 3.1 baseline."""
+
+    @property
+    def system(self) -> ConventionalSystem:
+        system = self.kernel.system
+        assert isinstance(system, ConventionalSystem)
+        return system
+
+    def _asid(self, domain: ProtectionDomain) -> int:
+        return domain.pd_id if self.system.asid_tagged else 0
+
+    def _mirror(self, domain: ProtectionDomain) -> LinearPageTable:
+        return self.kernel.linear_tables[domain.pd_id]
+
+    def attach(self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights) -> None:
+        # The per-domain page table gains a (duplicated) entry for every
+        # resident page of the segment — the §3.1 replication cost.
+        domain.attachments[segment.seg_id] = rights
+        mirror = self._mirror(domain)
+        for vpn in segment.vpns():
+            pfn = self.kernel.translations.pfn_for(vpn)
+            if pfn is not None:
+                mirror.map(vpn, pfn, rights)
+                self.kernel.stats.inc("kernel.pte_replicated")
+
+    def detach(self, domain: ProtectionDomain, segment: VirtualSegment) -> None:
+        del domain.attachments[segment.seg_id]
+        domain.clear_overrides_in(segment.base_vpn, segment.end_vpn)
+        mirror = self._mirror(domain)
+        for vpn in segment.vpns():
+            mirror.unmap(vpn)
+        self.system.tlb.invalidate_domain_range(
+            self._asid(domain), segment.base_vpn, segment.end_vpn
+        )
+
+    def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
+        domain.page_overrides[vpn] = rights
+        self._mirror(domain).set_rights(vpn, rights)
+        self.system.tlb.update_rights(self._asid(domain), vpn, rights)
+
+    def set_rights_all(self, vpn: int, rights: Rights) -> None:
+        # One TLB/PTE update per attached domain: replication makes the
+        # all-domains change linear in the sharers.
+        segment = self.kernel.segment_at(vpn)
+        if segment is None:
+            return
+        for domain in self.kernel.attached_domains(segment):
+            domain.page_overrides[vpn] = rights
+            self._mirror(domain).set_rights(vpn, rights)
+            self.system.tlb.update_rights(self._asid(domain), vpn, rights)
+
+    def set_segment_rights(
+        self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
+    ) -> None:
+        domain.attachments[segment.seg_id] = rights
+        domain.clear_overrides_in(segment.base_vpn, segment.end_vpn)
+        mirror = self._mirror(domain)
+        for vpn in segment.vpns():
+            mirror.set_rights(vpn, rights)
+        self.system.tlb.invalidate_domain_range(
+            self._asid(domain), segment.base_vpn, segment.end_vpn
+        )
+
+    def invalidate_translation(self, vpn: int) -> None:
+        # Every domain's replica must go (§3.1's coherence burden).
+        self.system.tlb.invalidate_page(vpn)
+
+    def on_populate(self, vpn: int, pfn: int) -> None:
+        # Keep every attached domain's linear table in step — the
+        # duplicated-mapping maintenance §3.1 complains about.
+        segment = self.kernel.segment_at(vpn)
+        if segment is None:
+            return
+        for domain in self.kernel.attached_domains(segment):
+            rights = domain.page_overrides.get(vpn, domain.attachments[segment.seg_id])
+            self._mirror(domain).map(vpn, pfn, rights)
+            self.kernel.stats.inc("kernel.pte_replicated")
+
+    def on_unmap(self, vpn: int) -> None:
+        segment = self.kernel.segment_at(vpn)
+        if segment is None:
+            return
+        for domain in self.kernel.attached_domains(segment):
+            self._mirror(domain).unmap(vpn)

@@ -1,0 +1,188 @@
+"""A user-level paging server (Section 4.1.3).
+
+Pages must be protected from application access while page-in/page-out
+operations are in progress; the paging server's own protection domain is
+granted exclusive access for the duration.  The model-specific mechanics
+follow Table 1's compression-paging row:
+
+* PLB system — mark the page inaccessible to the clients in the PLB,
+  page the data out, remove the TLB entry; on page-in, restore the
+  clients' rights (new PLB entries fault in lazily).
+* Page-group system — move the page to the server's private page-group
+  (one TLB-entry update), page out, remove the TLB entry; on page-in,
+  move the page back to its original group.
+
+The pager optionally compresses page images (the Appel & Li compression
+paging workload is built directly on this class).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mmu import PageFault, ProtectionFault
+from repro.core.rights import Rights
+from repro.hardware.backing import CompressedStore
+from repro.os.domain import ProtectionDomain
+from repro.os.kernel import Kernel
+
+
+@dataclass
+class _EvictedState:
+    """What must be restored when the page comes back."""
+
+    #: Page-group model: the group and global rights the page held.
+    aid: int | None = None
+    rights: Rights | None = None
+    #: Domain-page model: per-domain rights before the page-out
+    #: (pd_id -> rights override, or None when the domain had no
+    #: override and fell through to its attachment grant).
+    overrides: dict[int, Rights | None] | None = None
+
+
+class UserLevelPager:
+    """A paging server running in its own protection domain.
+
+    Args:
+        kernel: The kernel to serve.
+        compress: Compress page images on the way out (Appel & Li).
+        domain_name: Name for the server's protection domain.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        compress: bool = False,
+        domain_name: str = "pager",
+    ) -> None:
+        self.kernel = kernel
+        self.compress = compress
+        self.domain: ProtectionDomain = kernel.create_domain(domain_name)
+        self.store = CompressedStore(store=kernel.backing, stats=kernel.stats)
+        self._evicted: dict[int, _EvictedState] = {}
+        if kernel.model == "pagegroup":
+            #: The server's private page-group: pages move here while a
+            #: paging operation owns them.
+            self.server_group = kernel.create_page_group()
+            self.domain.grant_group(self.server_group)
+        else:
+            self.server_group = None
+        kernel.add_page_fault_handler(self._on_page_fault)
+        kernel.add_protection_handler(self._on_protection_fault)
+
+    # ------------------------------------------------------------------ #
+    # Page-out
+
+    def page_out(self, vpn: int) -> None:
+        """Evict one page to backing store (Table 1 "Page-out")."""
+        kernel = self.kernel
+        if vpn in self._evicted:
+            raise ValueError(f"page {vpn:#x} is already paged out")
+        pfn = kernel.translations.pfn_for(vpn)
+        if pfn is None:
+            raise ValueError(f"page {vpn:#x} is not resident")
+        state = _EvictedState()
+        self._grab_exclusive(vpn, state)
+
+        data = kernel.memory.read_page(pfn) or bytes(kernel.params.page_size)
+        if self.compress:
+            self.store.page_out(vpn, data)
+        else:
+            kernel.backing.write(vpn, data)
+        kernel.free_page(vpn)
+        kernel.translations.mark_on_disk(vpn, True)
+        self._evicted[vpn] = state
+        kernel.stats.inc("pager.page_out")
+
+    def _grab_exclusive(self, vpn: int, state: _EvictedState) -> None:
+        """Deny client access for the duration of the operation."""
+        kernel = self.kernel
+        if kernel.model == "pagegroup":
+            state.aid = kernel.group_table.aid_of(vpn)
+            state.rights = kernel.group_table.rights_of(vpn)
+            assert self.server_group is not None
+            kernel.move_page_to_group(vpn, self.server_group, rights=Rights.RW)
+        else:
+            segment = kernel.segment_at(vpn)
+            overrides: dict[int, Rights | None] = {}
+            if segment is not None:
+                for domain in kernel.attached_domains(segment):
+                    overrides[domain.pd_id] = domain.page_overrides.get(vpn)
+            state.overrides = overrides
+            kernel.set_rights_all_domains(vpn, Rights.NONE)
+
+    # ------------------------------------------------------------------ #
+    # Page-in
+
+    def page_in(self, vpn: int) -> None:
+        """Bring one page back from backing store (Table 1 "Page-in")."""
+        kernel = self.kernel
+        state = self._evicted.pop(vpn, None)
+        if state is None:
+            raise ValueError(f"page {vpn:#x} was not paged out by this server")
+        pfn = kernel.populate_page(vpn)
+        if self.compress:
+            data = self.store.page_in(vpn)
+        else:
+            data = kernel.backing.read(vpn)
+        kernel.memory.write_page(pfn, data)
+        kernel.backing.discard(vpn)
+        kernel.translations.mark_on_disk(vpn, False)
+        self._restore_access(vpn, state)
+        kernel.stats.inc("pager.page_in")
+
+    def _restore_access(self, vpn: int, state: _EvictedState) -> None:
+        kernel = self.kernel
+        if kernel.model == "pagegroup":
+            assert state.aid is not None and state.rights is not None
+            kernel.move_page_to_group(vpn, state.aid, rights=state.rights)
+            return
+        segment = kernel.segment_at(vpn)
+        if segment is None or state.overrides is None:
+            return
+        from repro.core.mmu import PLBSystem  # local import avoids a cycle
+
+        for domain in kernel.attached_domains(segment):
+            previous = state.overrides.get(domain.pd_id)
+            if previous is None:
+                domain.page_overrides.pop(vpn, None)
+                effective = domain.attachments[segment.seg_id]
+            else:
+                domain.page_overrides[vpn] = previous
+                effective = previous
+            # The PLB was deliberately left alone at unmap time
+            # (Section 4.1.3), so a stale inaccessible entry may still
+            # be resident; rewrite it with the restored rights.
+            if isinstance(kernel.system, PLBSystem):
+                kernel.system.plb.update_entries_for_page(
+                    vpn, effective, pd_id=domain.pd_id
+                )
+
+    # ------------------------------------------------------------------ #
+    # Fault plumbing
+
+    def _on_page_fault(self, fault: PageFault) -> bool:
+        """Demand page-in for faults on pages this server evicted."""
+        vpn = self.kernel.params.vpn(fault.vaddr)
+        if vpn not in self._evicted:
+            return False
+        self.page_in(vpn)
+        return True
+
+    def _on_protection_fault(self, fault: ProtectionFault) -> bool:
+        """Evicted pages fault as *protection* faults on the PLB system.
+
+        The PLB is checked before translation, and the page-out protocol
+        set the clients' rights to none; the kernel recognizes the
+        paged-out page from the fault and restores it (Section 4.1.3).
+        """
+        vpn = self.kernel.params.vpn(fault.vaddr)
+        if vpn not in self._evicted:
+            return False
+        self.page_in(vpn)
+        return True
+
+    @property
+    def evicted_pages(self) -> set[int]:
+        return set(self._evicted)

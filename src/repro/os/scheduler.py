@@ -1,0 +1,45 @@
+"""Protection-domain scheduling (Section 4.1.4).
+
+Domain switches are the operation whose cost diverges most sharply
+between the models: one PD-ID register write on the PLB system, a
+page-group-cache purge (plus eager or lazy reload) on the page-group
+system, and a full TLB/cache purge on an untagged conventional system.
+The scheduler is deliberately simple — round-robin over runnable
+domains — because the benchmarks care about the per-switch hardware
+cost, not scheduling policy.
+"""
+
+from __future__ import annotations
+
+from repro.os.domain import ProtectionDomain
+from repro.os.kernel import Kernel
+
+
+class RoundRobinScheduler:
+    """Cycle through a fixed set of protection domains."""
+
+    def __init__(self, kernel: Kernel, domains: list[ProtectionDomain]) -> None:
+        if not domains:
+            raise ValueError("scheduler needs at least one domain")
+        self.kernel = kernel
+        self.domains = list(domains)
+        self._index = len(domains) - 1  # first next() lands on domains[0]
+
+    @property
+    def current(self) -> ProtectionDomain:
+        return self.domains[self._index]
+
+    def next(self) -> ProtectionDomain:
+        """Switch to the next domain in rotation and return it."""
+        self._index = (self._index + 1) % len(self.domains)
+        domain = self.domains[self._index]
+        self.kernel.switch_to(domain)
+        return domain
+
+    def run_to(self, domain: ProtectionDomain) -> None:
+        """Switch directly to a specific domain (RPC-style transfer)."""
+        try:
+            self._index = self.domains.index(domain)
+        except ValueError:
+            raise ValueError(f"{domain.name} is not scheduled here") from None
+        self.kernel.switch_to(domain)

@@ -1,0 +1,129 @@
+"""Virtual segments and the global virtual address allocator.
+
+Virtual segments are the Opal storage/sharing abstraction the paper's
+evaluation assumes (Section 4.1.1): sequences of contiguous virtual
+pages occupying a fixed range of the single address space, "assigned when
+the segment is created and disjoint from the address ranges occupied by
+all other segments".  They are the unit of attachment and (in the
+page-group model) typically map one-to-one onto page-groups.
+
+The allocator hands out disjoint, power-of-two-aligned page ranges and
+never reuses addresses — context-independent names are the whole point of
+a single address space.  Alignment to the segment's own (rounded-up)
+size keeps superpage protection entries possible (Section 4.3 notes the
+segment "would have to be aligned to a power of two sized page").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VirtualSegment:
+    """A named, contiguous, globally addressed range of virtual pages.
+
+    Attributes:
+        seg_id: Kernel-assigned identifier.
+        name: Human-readable label for reports.
+        base_vpn: First virtual page of the segment.
+        n_pages: Length in pages.
+        aid: The page-group representing this segment in the page-group
+            model (assigned at creation; pages may later be moved to
+            other groups individually).
+    """
+
+    seg_id: int
+    name: str
+    base_vpn: int
+    n_pages: int
+    aid: int
+
+    @property
+    def end_vpn(self) -> int:
+        """One past the last page of the segment."""
+        return self.base_vpn + self.n_pages
+
+    def contains(self, vpn: int) -> bool:
+        return self.base_vpn <= vpn < self.end_vpn
+
+    def vpns(self) -> range:
+        """All virtual page numbers in the segment."""
+        return range(self.base_vpn, self.end_vpn)
+
+    def vpn_at(self, index: int) -> int:
+        """The VPN of the ``index``-th page (with bounds checking)."""
+        if not 0 <= index < self.n_pages:
+            raise IndexError(f"page index {index} outside segment of {self.n_pages} pages")
+        return self.base_vpn + index
+
+    def __len__(self) -> int:
+        return self.n_pages
+
+
+def _round_up_pow2(n: int) -> int:
+    if n <= 0:
+        raise ValueError("need a positive size")
+    return 1 << (n - 1).bit_length()
+
+
+@dataclass
+class AddressSpaceAllocator:
+    """Allocates disjoint, aligned VPN ranges from the global space.
+
+    A bump allocator over virtual page numbers.  Each allocation is
+    aligned to the next power of two at or above its size, so any
+    power-of-two-sized segment occupies exactly one naturally aligned
+    protection superpage.  Addresses are never recycled.
+
+    Args:
+        first_vpn: Where allocation begins (low pages are reserved for
+            the kernel by default).
+        limit_vpn: Exclusive upper bound (the top of the 52-bit page
+            space for the default machine).
+    """
+
+    first_vpn: int = 0x100
+    limit_vpn: int = 1 << 52
+
+    _next_vpn: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._next_vpn = self.first_vpn
+
+    def allocate(self, n_pages: int) -> int:
+        """Reserve ``n_pages`` pages; returns the base VPN."""
+        if n_pages <= 0:
+            raise ValueError("segments need at least one page")
+        align = _round_up_pow2(n_pages)
+        base = (self._next_vpn + align - 1) & ~(align - 1)
+        end = base + n_pages
+        if end > self.limit_vpn:
+            raise MemoryError("global virtual address space exhausted")
+        self._next_vpn = end
+        return base
+
+    def reserve(self, base_vpn: int, n_pages: int) -> int:
+        """Claim a specific range (for cluster-wide agreed addresses).
+
+        Distributed SASOS nodes must place a shared segment at the *same*
+        global address everywhere — context-independent addressing is the
+        point.  The range must lie at or beyond the allocation frontier.
+        """
+        if n_pages <= 0:
+            raise ValueError("segments need at least one page")
+        if base_vpn < self._next_vpn:
+            raise ValueError(
+                f"range at {base_vpn:#x} collides with allocated space "
+                f"(frontier {self._next_vpn:#x})"
+            )
+        end = base_vpn + n_pages
+        if end > self.limit_vpn:
+            raise MemoryError("global virtual address space exhausted")
+        self._next_vpn = end
+        return base_vpn
+
+    @property
+    def allocated_through(self) -> int:
+        """Highest VPN handed out so far (exclusive)."""
+        return self._next_vpn

@@ -1,0 +1,128 @@
+"""The trace-driven machine: references, faults, retries.
+
+:class:`Machine` glues a kernel's memory system to a reference stream.
+Each reference runs through the system's access path; protection and page
+faults trap to the kernel (workload-installed handlers fix up rights,
+pagers bring pages in) and the faulting access retries, exactly the
+fault-driven protocols that the paper's application classes (GC, DSM,
+transactions, checkpointing) are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.mmu import AccessResult, PageFault, ProtectionFault
+from repro.core.rights import AccessType
+from repro.os.domain import ProtectionDomain
+from repro.os.kernel import Kernel, SegmentationViolation
+from repro.sim.stats import Stats
+from repro.sim.trace import Ref, Switch, TraceOp
+
+
+class FaultLoop(SegmentationViolation):
+    """An access kept faulting after the kernel handled its faults."""
+
+
+@dataclass
+class TouchResult:
+    """Outcome of one reference, including the faults it took."""
+
+    result: AccessResult
+    protection_faults: int = 0
+    page_faults: int = 0
+
+    @property
+    def faulted(self) -> bool:
+        return bool(self.protection_faults or self.page_faults)
+
+
+class Machine:
+    """Runs references (and whole traces) against one kernel."""
+
+    #: A reference that faults more than this many times is wedged: the
+    #: handlers are not making progress.
+    MAX_FAULTS = 16
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        #: When set (see :meth:`record_trace`), every touch is appended
+        #: here so a workload's reference stream can be saved and
+        #: replayed on another model.
+        self._trace_log: list[Ref] | None = None
+
+    @property
+    def stats(self) -> Stats:
+        return self.kernel.stats
+
+    def record_trace(self, sink: list[Ref] | None = None) -> list[Ref]:
+        """Start recording every reference; returns the sink list."""
+        self._trace_log = sink if sink is not None else []
+        return self._trace_log
+
+    def stop_recording(self) -> list[Ref] | None:
+        """Stop recording; returns the captured trace."""
+        log, self._trace_log = self._trace_log, None
+        return log
+
+    # ------------------------------------------------------------------ #
+    # Single references
+
+    def touch(
+        self,
+        domain: ProtectionDomain,
+        vaddr: int,
+        access: AccessType = AccessType.READ,
+    ) -> TouchResult:
+        """One reference by ``domain``, with full fault handling.
+
+        Switches to the domain if it is not current, then retries the
+        access as the kernel resolves faults.  Raises
+        :class:`SegmentationViolation` (via the kernel) for unhandled
+        faults and :class:`FaultLoop` if handlers stop making progress.
+        """
+        kernel = self.kernel
+        if self._trace_log is not None:
+            self._trace_log.append(Ref(domain.pd_id, vaddr, access))
+        if kernel.system.current_domain != domain.pd_id:
+            kernel.switch_to(domain)
+        protection_faults = 0
+        page_faults = 0
+        for _ in range(self.MAX_FAULTS):
+            try:
+                result = kernel.system.access(vaddr, access)
+            except ProtectionFault as fault:
+                protection_faults += 1
+                kernel.handle_protection_fault(fault)
+            except PageFault as fault:
+                page_faults += 1
+                kernel.handle_page_fault(fault)
+            else:
+                return TouchResult(result, protection_faults, page_faults)
+        raise FaultLoop(
+            f"access at {vaddr:#x} by {domain.name} still faulting after "
+            f"{self.MAX_FAULTS} handled faults"
+        )
+
+    def read(self, domain: ProtectionDomain, vaddr: int) -> TouchResult:
+        return self.touch(domain, vaddr, AccessType.READ)
+
+    def write(self, domain: ProtectionDomain, vaddr: int) -> TouchResult:
+        return self.touch(domain, vaddr, AccessType.WRITE)
+
+    # ------------------------------------------------------------------ #
+    # Traces
+
+    def run(self, trace: Iterable[TraceOp]) -> Stats:
+        """Replay a trace; returns the stats accumulated by the run."""
+        before = self.stats.snapshot()
+        for op in trace:
+            if isinstance(op, Ref):
+                domain = self.kernel.domains[op.pd_id]
+                self.touch(domain, op.vaddr, op.access)
+            elif isinstance(op, Switch):
+                self.kernel.switch_to(self.kernel.domains[op.pd_id])
+            else:
+                raise TypeError(f"not a trace op: {op!r}")
+        return self.stats.delta(before)

@@ -1,0 +1,76 @@
+"""Reference traces: the input format of the trace-driven simulator.
+
+A trace is a sequence of operations — memory references and domain
+switches — that the :class:`~repro.sim.machine.Machine` replays against a
+kernel.  Traces are plain dataclass records so workload generators can
+build them programmatically; a simple text serialization is provided for
+saving interesting traces and replaying them across models (the same
+trace drives all three systems, which is what makes the comparisons
+fair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Iterable, Iterator, Union
+
+from repro.core.rights import AccessType
+
+_ACCESS_CODE = {AccessType.READ: "r", AccessType.WRITE: "w", AccessType.EXECUTE: "x"}
+_CODE_ACCESS = {code: access for access, code in _ACCESS_CODE.items()}
+
+
+@dataclass(frozen=True)
+class Ref:
+    """One memory reference by a protection domain."""
+
+    pd_id: int
+    vaddr: int
+    access: AccessType = AccessType.READ
+
+
+@dataclass(frozen=True)
+class Switch:
+    """An explicit protection-domain switch."""
+
+    pd_id: int
+
+
+TraceOp = Union[Ref, Switch]
+
+
+def write_trace(ops: Iterable[TraceOp], fp: IO[str]) -> int:
+    """Serialize a trace as one op per line; returns ops written.
+
+    Format: ``R <pd> <vaddr-hex> <r|w|x>`` for references and
+    ``S <pd>`` for switches.
+    """
+    count = 0
+    for op in ops:
+        if isinstance(op, Ref):
+            fp.write(f"R {op.pd_id} {op.vaddr:#x} {_ACCESS_CODE[op.access]}\n")
+        elif isinstance(op, Switch):
+            fp.write(f"S {op.pd_id}\n")
+        else:
+            raise TypeError(f"not a trace op: {op!r}")
+        count += 1
+    return count
+
+
+def read_trace(fp: IO[str]) -> Iterator[TraceOp]:
+    """Parse a trace written by :func:`write_trace` (blank lines and
+    ``#`` comments are skipped)."""
+    for lineno, line in enumerate(fp, 1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        fields = text.split()
+        try:
+            if fields[0] == "R":
+                yield Ref(int(fields[1]), int(fields[2], 16), _CODE_ACCESS[fields[3]])
+            elif fields[0] == "S":
+                yield Switch(int(fields[1]))
+            else:
+                raise ValueError(f"unknown op {fields[0]!r}")
+        except (IndexError, KeyError, ValueError) as exc:
+            raise ValueError(f"bad trace line {lineno}: {text!r}") from exc

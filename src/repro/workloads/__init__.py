@@ -1,0 +1,41 @@
+"""The paper's Table 1 application classes, runnable on any model.
+
+Concurrent garbage collection, distributed shared VM, transactional VM,
+concurrent checkpointing, compression paging, cross-domain RPC and the
+attach/detach micro-workload — each drives the kernel API identically
+under every protection model so the hardware costs are the only
+difference.
+"""
+
+from repro.workloads.attach import AttachConfig, AttachDetachWorkload
+from repro.workloads.checkpoint import CheckpointConfig, ConcurrentCheckpoint
+from repro.workloads.compression import CompressionConfig, CompressionPaging
+from repro.workloads.dsm import DSMCluster
+from repro.workloads.fileserver import FileServer, FileServerConfig
+from repro.workloads.gc import ConcurrentGC, GCConfig
+from repro.workloads.rpc import RPCConfig, RPCWorkload
+from repro.workloads.shlib import SharedLibraryConfig, SharedLibraryWorkload
+from repro.workloads.tracegen import RefPattern, TraceGenerator
+from repro.workloads.txn import TransactionalVM, TxnConfig
+
+__all__ = [
+    "AttachConfig",
+    "AttachDetachWorkload",
+    "CheckpointConfig",
+    "CompressionConfig",
+    "CompressionPaging",
+    "ConcurrentCheckpoint",
+    "ConcurrentGC",
+    "DSMCluster",
+    "FileServer",
+    "FileServerConfig",
+    "GCConfig",
+    "RPCConfig",
+    "RPCWorkload",
+    "RefPattern",
+    "SharedLibraryConfig",
+    "SharedLibraryWorkload",
+    "TraceGenerator",
+    "TransactionalVM",
+    "TxnConfig",
+]

@@ -1,0 +1,95 @@
+"""Segment attach/detach micro-workload (Table 1, rows 1-2).
+
+"Once mechanisms exist to facilitate sharing and cooperation, domains
+will typically attach to multiple virtual segments; therefore, the
+architecture should efficiently support large numbers of active
+segments" (Section 4.1.1).  This workload attaches a domain to many
+segments, touches them, and detaches, measuring per-operation structure
+costs:
+
+* domain-page — attach is free (rights fault into the PLB page at a
+  time); detach must inspect each PLB entry and eliminate matches.
+* page-group — attach adds the group to the page-group cache; detach
+  removes it (constant work, independent of PLB residency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rights import Rights
+from repro.os.domain import ProtectionDomain
+from repro.os.kernel import Kernel
+from repro.os.segment import VirtualSegment
+from repro.sim.machine import Machine
+from repro.sim.stats import Stats
+
+
+@dataclass
+class AttachConfig:
+    """Parameters of the attach/detach micro-workload."""
+
+    segments: int = 16
+    pages_per_segment: int = 8
+    #: Lines touched per segment between attach and detach (PLB/TLB
+    #: entries actually faulted in, which detach must then clean up).
+    touches_per_segment: int = 16
+    #: Extra domains sharing every segment (drives PLB entry
+    #: replication).
+    sharers: int = 0
+
+
+@dataclass
+class AttachReport:
+    attaches: int = 0
+    detaches: int = 0
+    stats: Stats = field(default_factory=Stats)
+
+
+class AttachDetachWorkload:
+    """Attach many segments, touch them, detach them."""
+
+    def __init__(self, kernel: Kernel, config: AttachConfig | None = None) -> None:
+        self.kernel = kernel
+        self.machine = Machine(kernel)
+        self.config = config or AttachConfig()
+        self.domain: ProtectionDomain = kernel.create_domain("worker")
+        self.sharers: list[ProtectionDomain] = [
+            kernel.create_domain(f"sharer-{index}")
+            for index in range(self.config.sharers)
+        ]
+        self.segments: list[VirtualSegment] = [
+            kernel.create_segment(f"seg-{index}", self.config.pages_per_segment)
+            for index in range(self.config.segments)
+        ]
+        self.report = AttachReport()
+
+    def _touch(self, domain: ProtectionDomain, segment: VirtualSegment) -> None:
+        params = self.kernel.params
+        line = params.cache_line_bytes
+        for touch in range(self.config.touches_per_segment):
+            vpn = segment.vpn_at(touch % segment.n_pages)
+            self.machine.read(domain, params.vaddr(vpn, (touch * line) % params.page_size))
+
+    def run(self) -> AttachReport:
+        """Attach -> touch -> detach over every segment."""
+        kernel = self.kernel
+        before = kernel.stats.snapshot()
+        for segment in self.segments:
+            kernel.attach(self.domain, segment, Rights.RW)
+            self.report.attaches += 1
+            for sharer in self.sharers:
+                kernel.attach(sharer, segment, Rights.READ)
+                self.report.attaches += 1
+        for segment in self.segments:
+            self._touch(self.domain, segment)
+            for sharer in self.sharers:
+                self._touch(sharer, segment)
+        for segment in self.segments:
+            kernel.detach(self.domain, segment)
+            self.report.detaches += 1
+            for sharer in self.sharers:
+                kernel.detach(sharer, segment)
+                self.report.detaches += 1
+        self.report.stats = kernel.stats.delta(before)
+        return self.report

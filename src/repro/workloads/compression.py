@@ -1,0 +1,144 @@
+"""Compression paging (Table 1, rows 13-14).
+
+The Appel & Li scenario: the paging server compresses page images on
+page-out, trading CPU for disk traffic.  During each operation the page
+must be inaccessible to the application (the server holds it
+exclusively); on page-in the client's access is restored.
+
+Per Table 1:
+
+* domain-page — *Page-out*: mark the page inaccessible to the client in
+  the PLB, compress, write, remove the TLB entry; *Page-in*: allocate
+  the frame, map it, read+decompress, make the page accessible to the
+  client in the PLB.
+* page-group — *Page-out*: move the page to the server's private group
+  in the TLB, compress, write, remove the TLB entry; *Page-in*: map into
+  the server's group, read+decompress, move back to the client's group.
+
+Both flows are implemented by :class:`~repro.os.pager.UserLevelPager`;
+this workload adds the memory-pressure driver: an application whose
+working set exceeds its resident-page budget, forcing a stream of
+evictions and demand page-ins, over page images with realistic (partly
+compressible) contents.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import random
+
+from repro.core.rights import Rights
+from repro.os.domain import ProtectionDomain
+from repro.os.kernel import Kernel
+from repro.os.pager import UserLevelPager
+from repro.os.segment import VirtualSegment
+from repro.sim.machine import Machine
+from repro.sim.stats import Stats
+from repro.workloads.tracegen import RefPattern, TraceGenerator
+
+
+@dataclass
+class CompressionConfig:
+    """Parameters of the compression-paging workload."""
+
+    segment_pages: int = 96
+    #: Resident-page budget: the working set will not fit.
+    resident_budget: int = 32
+    refs: int = 4_000
+    write_fraction: float = 0.3
+    zipf_s: float = 0.9
+    #: Fraction of each page image that is incompressible noise.
+    noise_fraction: float = 0.25
+    seed: int = 5
+
+
+@dataclass
+class CompressionReport:
+    page_outs: int = 0
+    page_ins: int = 0
+    compression_ratio: float = 0.0
+    stats: Stats = field(default_factory=Stats)
+
+
+class CompressionPaging:
+    """Memory-pressure driver over the compressing user-level pager."""
+
+    def __init__(self, kernel: Kernel, config: CompressionConfig | None = None) -> None:
+        self.kernel = kernel
+        self.machine = Machine(kernel)
+        self.config = config or CompressionConfig()
+        if self.config.resident_budget < 2:
+            raise ValueError("resident budget must be at least 2 pages")
+        self.gen = TraceGenerator(self.config.seed, kernel.params)
+        self.pager = UserLevelPager(kernel, compress=True)
+        self.app: ProtectionDomain = kernel.create_domain("app")
+        self.segment: VirtualSegment = kernel.create_segment(
+            "bigdata", self.config.segment_pages
+        )
+        kernel.attach(self.app, self.segment, Rights.RW)
+        self._fill_page_images()
+        #: Resident pages in LRU order (front = least recent).
+        self._resident: OrderedDict[int, None] = OrderedDict(
+            (vpn, None) for vpn in self.segment.vpns()
+        )
+        self.report = CompressionReport()
+
+    def _fill_page_images(self) -> None:
+        """Give pages contents that compress like real data."""
+        rng = random.Random(self.config.seed)
+        page_size = self.kernel.params.page_size
+        noise_bytes = int(page_size * self.config.noise_fraction)
+        for vpn in self.segment.vpns():
+            pfn = self.kernel.translations.pfn_for(vpn)
+            assert pfn is not None
+            noise = rng.randbytes(noise_bytes)
+            data = noise + bytes(page_size - noise_bytes)
+            self.kernel.memory.write_page(pfn, data)
+
+    # ------------------------------------------------------------------ #
+    # Memory-pressure management
+
+    def _note_use(self, vpn: int) -> None:
+        self._resident[vpn] = None
+        self._resident.move_to_end(vpn)
+
+    def _ensure_budget(self, incoming_vpn: int) -> None:
+        """Evict LRU pages until the incoming page fits the budget."""
+        while len(self._resident) >= self.config.resident_budget:
+            victim, _ = self._resident.popitem(last=False)
+            if victim == incoming_vpn:
+                continue
+            self.pager.page_out(victim)
+            self.report.page_outs += 1
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> CompressionReport:
+        """Run the reference stream under memory pressure."""
+        config = self.config
+        kernel = self.kernel
+        before = kernel.stats.snapshot()
+        # Shrink to the budget up front: page out the initial overflow.
+        for vpn in list(self.segment.vpns())[config.resident_budget :]:
+            del self._resident[vpn]
+            self.pager.page_out(vpn)
+            self.report.page_outs += 1
+
+        pattern = RefPattern(
+            write_fraction=config.write_fraction, zipf_s=config.zipf_s
+        )
+        for ref in self.gen.refs(self.app.pd_id, self.segment, config.refs, pattern):
+            vpn = kernel.params.vpn(ref.vaddr)
+            if vpn not in self._resident:
+                self._ensure_budget(vpn)
+                # The touch faults (no translation); the pager's fault
+                # handler pages it in with decompression.
+                self._resident[vpn] = None
+                self.report.page_ins += 1
+            self._note_use(vpn)
+            self.machine.touch(self.app, ref.vaddr, ref.access)
+        self.report.compression_ratio = self.pager.store.compression_ratio
+        self.report.stats = kernel.stats.delta(before)
+        return self.report

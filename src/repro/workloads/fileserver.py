@@ -1,0 +1,168 @@
+"""A file-server macro-workload: the paper's motivating scenario (§2.1).
+
+Section 2.1 argues that a single address space lets cooperating
+protection domains share data "efficiently by reference", where
+multi-address-space systems fall back to copying through communication
+channels (RPC).  This workload builds a small file server and drives it
+two ways:
+
+* ``mode="copy"`` — the conventional structure: the client sends a
+  request, the server reads the file and *copies* the data into the
+  client's reply buffer (every byte crosses the cache twice).
+* ``mode="share"`` — the SASOS structure: the server *attaches the
+  client to the file's segment* read-only and replies with a pointer;
+  the client reads the file data directly at its global address.
+
+Both modes exercise the Table 1 machinery under one roof: domain
+switches per request (§4.1.4), segment attach/detach churn as the
+server's working set of files rotates (§4.1.1), and the protection
+faults/refills of whichever model the kernel runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.rights import Rights
+from repro.os.domain import ProtectionDomain
+from repro.os.kernel import Kernel
+from repro.os.segment import VirtualSegment
+from repro.sim.machine import Machine
+from repro.sim.stats import Stats
+from repro.workloads.tracegen import TraceGenerator
+
+
+@dataclass
+class FileServerConfig:
+    """Parameters of the file-server macro-workload."""
+
+    files: int = 12
+    file_pages: int = 4
+    clients: int = 3
+    requests: int = 60
+    #: Cache lines read from the file per request.
+    lines_per_request: int = 24
+    #: How many files the server keeps attached at once (LRU detach
+    #: beyond this — the §4.1.1 attach/detach churn).
+    active_files: int = 4
+    #: "copy" or "share" (pass results by reference).
+    mode: str = "copy"
+    zipf_s: float = 1.0
+    seed: int = 29
+
+
+@dataclass
+class FileServerReport:
+    requests: int = 0
+    attaches: int = 0
+    detaches: int = 0
+    client_attaches: int = 0
+    stats: Stats = field(default_factory=Stats)
+
+
+class FileServer:
+    """A server domain mediating client access to file segments."""
+
+    def __init__(self, kernel: Kernel, config: FileServerConfig | None = None) -> None:
+        self.kernel = kernel
+        self.machine = Machine(kernel)
+        self.config = config or FileServerConfig()
+        if self.config.mode not in ("copy", "share"):
+            raise ValueError("mode must be 'copy' or 'share'")
+        self.gen = TraceGenerator(self.config.seed, kernel.params)
+        self.server: ProtectionDomain = kernel.create_domain("file-server")
+        self.files: list[VirtualSegment] = [
+            kernel.create_segment(f"file-{index}", self.config.file_pages)
+            for index in range(self.config.files)
+        ]
+        self.clients: list[ProtectionDomain] = []
+        self.mailboxes: list[VirtualSegment] = []
+        for index in range(self.config.clients):
+            client = kernel.create_domain(f"client-{index}")
+            mailbox = kernel.create_segment(f"mailbox-{index}", 2)
+            kernel.attach(client, mailbox, Rights.RW)
+            kernel.attach(self.server, mailbox, Rights.RW)
+            self.clients.append(client)
+            self.mailboxes.append(mailbox)
+        #: The server's attached-file working set, LRU ordered.
+        self._attached: OrderedDict[int, None] = OrderedDict()
+        #: Per client: files it has been granted direct access to
+        #: (share mode).
+        self._client_grants: list[set[int]] = [set() for _ in self.clients]
+        self.report = FileServerReport()
+
+    # ------------------------------------------------------------------ #
+    # Server-side file working set
+
+    def _ensure_attached(self, file_index: int) -> VirtualSegment:
+        segment = self.files[file_index]
+        if file_index in self._attached:
+            self._attached.move_to_end(file_index)
+            return segment
+        while len(self._attached) >= self.config.active_files:
+            victim, _ = self._attached.popitem(last=False)
+            self.kernel.detach(self.server, self.files[victim])
+            self.report.detaches += 1
+        self.kernel.attach(self.server, segment, Rights.READ)
+        self.report.attaches += 1
+        self._attached[file_index] = None
+        return segment
+
+    # ------------------------------------------------------------------ #
+    # One request
+
+    def serve(self, client_index: int, file_index: int) -> None:
+        kernel = self.kernel
+        params = kernel.params
+        line = params.cache_line_bytes
+        client = self.clients[client_index]
+        mailbox = self.mailboxes[client_index]
+        mailbox_base = params.vaddr(mailbox.base_vpn)
+
+        # Client writes the request into its mailbox.
+        self.machine.write(client, mailbox_base)
+        # Control transfers to the server (the §4.1.4 switch).
+        segment = self._ensure_attached(file_index)
+        file_base = params.vaddr(segment.base_vpn)
+        if self.config.mode == "copy":
+            # Server reads the file and copies the bytes into the
+            # mailbox: each line is read once and written once.
+            for index in range(self.config.lines_per_request):
+                offset = (index * line) % (segment.n_pages * params.page_size)
+                self.machine.read(self.server, file_base + offset)
+                self.machine.write(
+                    self.server, mailbox_base + line + (index * line) % params.page_size
+                )
+            self.machine.write(self.server, mailbox_base)  # reply header
+            # Client consumes the copy out of the mailbox.
+            for index in range(self.config.lines_per_request):
+                self.machine.read(
+                    client, mailbox_base + line + (index * line) % params.page_size
+                )
+        else:
+            # Server grants the client direct read access to the file
+            # segment and replies with a pointer — data passed by
+            # reference, the §2.1 structure.
+            if file_index not in self._client_grants[client_index]:
+                kernel.attach(client, segment, Rights.READ)
+                self._client_grants[client_index].add(file_index)
+                self.report.client_attaches += 1
+            self.machine.write(self.server, mailbox_base)  # reply: a pointer
+            for index in range(self.config.lines_per_request):
+                offset = (index * line) % (segment.n_pages * params.page_size)
+                self.machine.read(client, file_base + offset)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> FileServerReport:
+        config = self.config
+        before = self.kernel.stats.snapshot()
+        file_choices = self.gen.page_sequence(
+            config.files, config.requests, zipf_s=config.zipf_s
+        )
+        for number, file_index in enumerate(file_choices):
+            self.serve(number % config.clients, file_index)
+            self.report.requests += 1
+        self.report.stats = self.kernel.stats.delta(before)
+        return self.report

@@ -1,0 +1,125 @@
+"""Cross-domain RPC: the domain-switch microbenchmark (Section 4.1.4).
+
+"A protection domain switch on a PLB-based system requires changing only
+a single register ... Domain switching on the page-group implementation
+involves purging the active page-group cache and loading in the
+page-groups for the new domain."  This workload makes that cost visible:
+a client and a server ping-pong through a shared argument segment, each
+side also touching its own private segments (code, stack, heap — the
+working set of page-groups that must reload after every switch).
+
+The key counters:
+
+* ``pdid.write`` — register writes (the whole cost on the PLB system);
+* ``pgcache.*`` / ``pid.*`` / ``group_reload`` — page-group cache purge
+  and reload traffic;
+* ``asidtlb.purge*`` / ``dcache.purge*`` — what an untagged conventional
+  system throws away per switch;
+* ``plb.hit`` across switches — the PLB retains both domains' rights
+  simultaneously (entries are tagged, not flushed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rights import Rights
+from repro.os.domain import ProtectionDomain
+from repro.os.kernel import Kernel
+from repro.os.segment import VirtualSegment
+from repro.sim.machine import Machine
+from repro.sim.stats import Stats
+
+
+@dataclass
+class RPCConfig:
+    """Parameters of the RPC ping-pong."""
+
+    calls: int = 200
+    #: Pages of arguments written per call and results written back.
+    arg_pages: int = 2
+    #: Private segments per side — each is one page-group the switch
+    #: must reload in the page-group model.
+    private_segments: int = 4
+    private_pages: int = 4
+    #: Lines touched in each private segment per call (the working set
+    #: re-established after every switch).
+    private_touches: int = 8
+    seed: int = 3
+
+
+@dataclass
+class RPCReport:
+    calls: int = 0
+    stats: Stats = field(default_factory=Stats)
+
+    @property
+    def switches(self) -> int:
+        return self.stats["domain_switch"]
+
+
+class RPCWorkload:
+    """Client/server RPC ping-pong over a shared argument segment."""
+
+    def __init__(self, kernel: Kernel, config: RPCConfig | None = None) -> None:
+        self.kernel = kernel
+        self.machine = Machine(kernel)
+        self.config = config or RPCConfig()
+        self.client: ProtectionDomain = kernel.create_domain("client")
+        self.server: ProtectionDomain = kernel.create_domain("server")
+        self.args: VirtualSegment = kernel.create_segment(
+            "rpc-args", self.config.arg_pages
+        )
+        kernel.attach(self.client, self.args, Rights.RW)
+        kernel.attach(self.server, self.args, Rights.RW)
+        self.client_priv = self._make_private("client", self.client)
+        self.server_priv = self._make_private("server", self.server)
+        self.report = RPCReport()
+
+    def _make_private(
+        self, label: str, domain: ProtectionDomain
+    ) -> list[VirtualSegment]:
+        segments = []
+        for index in range(self.config.private_segments):
+            segment = self.kernel.create_segment(
+                f"{label}-priv-{index}", self.config.private_pages
+            )
+            self.kernel.attach(domain, segment, Rights.RW)
+            segments.append(segment)
+        return segments
+
+    # ------------------------------------------------------------------ #
+
+    def _touch_private(self, domain: ProtectionDomain, segments: list[VirtualSegment]) -> None:
+        params = self.kernel.params
+        line = params.cache_line_bytes
+        for segment in segments:
+            for touch in range(self.config.private_touches):
+                offset = (touch * line) % params.page_size
+                vpn = segment.vpn_at(touch % segment.n_pages)
+                self.machine.read(domain, params.vaddr(vpn, offset))
+
+    def call_once(self) -> None:
+        """One complete RPC: marshal, switch, serve, switch back."""
+        params = self.kernel.params
+        # Client marshals arguments into the shared segment.
+        for vpn in self.args.vpns():
+            self.machine.write(self.client, params.vaddr(vpn))
+        self._touch_private(self.client, self.client_priv)
+        # Control transfers to the server (the domain switch under test).
+        for vpn in self.args.vpns():
+            self.machine.read(self.server, params.vaddr(vpn))
+        self._touch_private(self.server, self.server_priv)
+        # Server writes results; control returns to the client.
+        for vpn in self.args.vpns():
+            self.machine.write(self.server, params.vaddr(vpn))
+        for vpn in self.args.vpns():
+            self.machine.read(self.client, params.vaddr(vpn))
+        self.report.calls += 1
+
+    def run(self) -> RPCReport:
+        before = self.kernel.stats.snapshot()
+        for _ in range(self.config.calls):
+            self.call_once()
+        self.report.stats = self.kernel.stats.delta(before)
+        return self.report

@@ -1,0 +1,126 @@
+"""Shared code libraries: §2.1's other sharing story, on the fetch path.
+
+"Segment attachment should also be efficient, since they will be
+attached whenever a new file is accessed, a code library is first
+touched or communication is first established" (§4.1.1) — and §2.1's
+point is that in a single address space one copy of a library serves
+every domain at one global address.
+
+This workload links many domains against a set of shared libraries
+(read-execute segments) plus a private data segment each, then runs
+call-heavy phases: instruction fetches from library pages interleaved
+with private data touches.  What it shows, per model:
+
+* translations for library pages exist **once** (PLB system,
+  page-group) versus per-domain (conventional);
+* protection state replicates per domain on the PLB (many small
+  entries) versus per-group grants on the PA-RISC model;
+* the EXECUTE permission path: libraries are mapped read-execute, and
+  writes to library text trap everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rights import AccessType, Rights
+from repro.os.domain import ProtectionDomain
+from repro.os.kernel import Kernel
+from repro.os.segment import VirtualSegment
+from repro.sim.machine import Machine
+from repro.sim.stats import Stats
+from repro.workloads.tracegen import TraceGenerator
+
+
+@dataclass
+class SharedLibraryConfig:
+    """Parameters of the shared-library workload."""
+
+    libraries: int = 4
+    library_pages: int = 8
+    domains: int = 4
+    data_pages: int = 4
+    #: Call rounds; each round fetches from libraries and touches data.
+    rounds: int = 6
+    fetches_per_round: int = 24
+    data_touches_per_round: int = 8
+    zipf_s: float = 0.9
+    seed: int = 41
+
+
+@dataclass
+class SharedLibraryReport:
+    rounds: int = 0
+    fetches: int = 0
+    stats: Stats = field(default_factory=Stats)
+
+
+class SharedLibraryWorkload:
+    """Domains executing shared libraries at one global address."""
+
+    def __init__(self, kernel: Kernel, config: SharedLibraryConfig | None = None) -> None:
+        self.kernel = kernel
+        self.config = config or SharedLibraryConfig()
+        self.machine = Machine(kernel)
+        self.gen = TraceGenerator(self.config.seed, kernel.params)
+        # Libraries: read-execute text shared by everyone.  The rights
+        # field (page-group model) carries RX; domain-page attachments
+        # grant RX per domain.
+        self.libraries: list[VirtualSegment] = [
+            kernel.create_segment(
+                f"lib-{index}", self.config.library_pages, group_rights=Rights.RX
+            )
+            for index in range(self.config.libraries)
+        ]
+        self.domains: list[ProtectionDomain] = []
+        self.data: list[VirtualSegment] = []
+        for index in range(self.config.domains):
+            domain = kernel.create_domain(f"prog-{index}")
+            for library in self.libraries:
+                kernel.attach(domain, library, Rights.RX)
+            private = kernel.create_segment(f"data-{index}", self.config.data_pages)
+            kernel.attach(domain, private, Rights.RW)
+            self.domains.append(domain)
+            self.data.append(private)
+        self.report = SharedLibraryReport()
+
+    def run(self) -> SharedLibraryReport:
+        config = self.config
+        kernel = self.kernel
+        params = kernel.params
+        line = params.cache_line_bytes
+        before = kernel.stats.snapshot()
+        for round_no in range(config.rounds):
+            for domain, private in zip(self.domains, self.data):
+                lib_picks = self.gen.page_sequence(
+                    config.libraries, config.fetches_per_round, zipf_s=config.zipf_s
+                )
+                for fetch_no, lib_index in enumerate(lib_picks):
+                    library = self.libraries[lib_index]
+                    vpn = library.vpn_at(fetch_no % library.n_pages)
+                    offset = (fetch_no * line * 3) % params.page_size
+                    self.machine.touch(
+                        domain, params.vaddr(vpn, offset), AccessType.EXECUTE
+                    )
+                    self.report.fetches += 1
+                for touch_no in range(config.data_touches_per_round):
+                    vpn = private.vpn_at(touch_no % private.n_pages)
+                    self.machine.write(domain, params.vaddr(vpn))
+            self.report.rounds += 1
+        self.report.stats = kernel.stats.delta(before)
+        return self.report
+
+    def library_translation_entries(self) -> int:
+        """Resident translation entries covering library pages."""
+        kernel = self.kernel
+        count = 0
+        for library in self.libraries:
+            for vpn in library.vpns():
+                system = kernel.system
+                if hasattr(system, "tlb"):
+                    tlb = system.tlb
+                    if hasattr(tlb, "replicas"):
+                        count += tlb.replicas(vpn)
+                    elif vpn in tlb:
+                        count += 1
+        return count

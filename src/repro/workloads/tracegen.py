@@ -1,0 +1,119 @@
+"""Synthetic reference-trace generators.
+
+The paper has no published traces; its workloads are described by their
+protection behaviour (Table 1).  The generators here supply the memory
+reference streams underneath those behaviours: working-set accesses with
+temporal locality, Zipf-skewed page popularity, and configurable
+read/write mixes.  All generation is seeded and deterministic so the same
+trace can drive every protection model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.params import MachineParams, DEFAULT_PARAMS
+from repro.core.rights import AccessType
+from repro.os.segment import VirtualSegment
+from repro.sim.trace import Ref
+
+
+@dataclass
+class RefPattern:
+    """Parameters of a synthetic reference stream.
+
+    Attributes:
+        write_fraction: Probability a reference is a store.
+        zipf_s: Zipf skew over the page population (0 = uniform; around
+            1 matches the strong page-popularity skew of real programs).
+        spatial_runs: Average number of consecutive same-page references
+            (temporal/spatial locality) before re-drawing a page.
+    """
+
+    write_fraction: float = 0.3
+    zipf_s: float = 0.8
+    spatial_runs: int = 4
+
+
+class TraceGenerator:
+    """Seeded generator of reference streams over segments."""
+
+    def __init__(self, seed: int = 1992, params: MachineParams = DEFAULT_PARAMS) -> None:
+        self.rng = random.Random(seed)
+        self.params = params
+
+    # ------------------------------------------------------------------ #
+    # Page selection
+
+    def _zipf_weights(self, n: int, s: float) -> list[float]:
+        if s <= 0:
+            return [1.0] * n
+        return [1.0 / (rank**s) for rank in range(1, n + 1)]
+
+    def page_sequence(
+        self, n_pages: int, n_draws: int, *, zipf_s: float = 0.8
+    ) -> list[int]:
+        """Draw page indexes with Zipf-skewed popularity."""
+        weights = self._zipf_weights(n_pages, zipf_s)
+        #: Shuffle the rank->page assignment so the hot pages are not
+        #: simply the first pages of every segment.
+        order = list(range(n_pages))
+        self.rng.shuffle(order)
+        drawn = self.rng.choices(range(n_pages), weights=weights, k=n_draws)
+        return [order[idx] for idx in drawn]
+
+    # ------------------------------------------------------------------ #
+    # Reference streams
+
+    def refs(
+        self,
+        pd_id: int,
+        segment: VirtualSegment,
+        n_refs: int,
+        pattern: RefPattern | None = None,
+    ) -> Iterator[Ref]:
+        """A locality-bearing reference stream over one segment."""
+        pattern = pattern or RefPattern()
+        produced = 0
+        page_size = self.params.page_size
+        # Fix the popularity ranking once per stream: the same pages stay
+        # hot throughout (reshuffling per draw would flatten the skew).
+        weights = self._zipf_weights(segment.n_pages, pattern.zipf_s)
+        order = list(range(segment.n_pages))
+        self.rng.shuffle(order)
+        while produced < n_refs:
+            rank = self.rng.choices(range(segment.n_pages), weights=weights, k=1)[0]
+            page_index = order[rank]
+            run = max(1, int(self.rng.expovariate(1.0 / pattern.spatial_runs)))
+            vpn = segment.vpn_at(page_index)
+            for _ in range(min(run, n_refs - produced)):
+                offset = self.rng.randrange(0, page_size, 8)
+                access = (
+                    AccessType.WRITE
+                    if self.rng.random() < pattern.write_fraction
+                    else AccessType.READ
+                )
+                yield Ref(pd_id, self.params.vaddr(vpn, offset), access)
+                produced += 1
+
+    def sequential_sweep(
+        self,
+        pd_id: int,
+        segment: VirtualSegment,
+        *,
+        access: AccessType = AccessType.READ,
+        stride: int | None = None,
+    ) -> Iterator[Ref]:
+        """Touch every line (or every ``stride`` bytes) of a segment once."""
+        stride = stride or self.params.cache_line_bytes
+        base = self.params.vaddr(segment.base_vpn)
+        length = segment.n_pages * self.params.page_size
+        for offset in range(0, length, stride):
+            yield Ref(pd_id, base + offset, access)
+
+    def pick_pages(self, segment: VirtualSegment, count: int) -> list[int]:
+        """A random sample of distinct VPNs from a segment."""
+        count = min(count, segment.n_pages)
+        return self.rng.sample(list(segment.vpns()), count)

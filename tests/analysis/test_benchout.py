@@ -1,0 +1,35 @@
+"""Tests for the benchmark report registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import benchout
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    benchout.clear()
+    yield
+    benchout.clear()
+
+
+class TestRegistry:
+    def test_record_and_retrieve_in_order(self):
+        benchout.record("first", "body one")
+        benchout.record("second", "body two")
+        assert benchout.all_reports() == [
+            ("first", "body one"),
+            ("second", "body two"),
+        ]
+
+    def test_all_reports_returns_copy(self):
+        benchout.record("a", "b")
+        reports = benchout.all_reports()
+        reports.append(("x", "y"))
+        assert len(benchout.all_reports()) == 1
+
+    def test_clear(self):
+        benchout.record("a", "b")
+        benchout.clear()
+        assert benchout.all_reports() == []

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, cmd_entry_sizes, cmd_replay, cmd_workload, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_models_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--models", "bogus"])
+
+    def test_models_parsing(self):
+        args = build_parser().parse_args(["table1", "--models", "plb,pagegroup"])
+        assert args.models == ("plb", "pagegroup")
+
+
+class TestCommands:
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "52 bits" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "MISMATCH" not in out
+        assert "group 0" in out
+
+    def test_entry_sizes(self, capsys):
+        assert main(["entry-sizes"]) == 0
+        out = capsys.readouterr().out
+        assert "about 25%" in out
+
+    def test_workload_rpc(self, capsys):
+        assert main(["workload", "rpc", "--models", "plb"]) == 0
+        out = capsys.readouterr().out
+        assert "PD-ID register writes" in out
+        assert "calls=" in out
+
+    def test_workload_dsm(self, capsys):
+        assert main(["workload", "dsm", "--models", "plb"]) == 0
+        out = capsys.readouterr().out
+        assert "Distributed VM" in out
+
+    def test_workload_fileserver(self, capsys):
+        assert main(["workload", "fileserver", "--models", "plb"]) == 0
+        out = capsys.readouterr().out
+        assert "File server" in out
+        assert "requests=" in out
+
+    def test_summary(self, capsys):
+        assert main(["summary", "--models", "plb,pagegroup"]) == 0
+        out = capsys.readouterr().out
+        assert "geometric mean" in out
+        assert "pagegroup/plb" in out
+
+    def test_all_emits_every_artifact(self, capsys):
+        assert main(["all", "--models", "plb,pagegroup"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Figure 1", "Figure 2", "Entry sizes",
+                       "Table 1 (measured)", "Cross-workload summary"):
+            assert marker in out
+
+
+class TestReplay:
+    def test_replay_roundtrip(self, tmp_path, capsys):
+        trace = tmp_path / "t.trace"
+        trace.write_text(
+            "R 1 0x100000 r\nR 1 0x100040 w\nS 1\nR 2 0x101000 r\n"
+        )
+        assert main(["replay", str(trace), "--model", "pagegroup"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted cycles" in out
+        assert "refs" in out
+
+    def test_replay_empty_trace(self, tmp_path):
+        trace = tmp_path / "empty.trace"
+        trace.write_text("# nothing\n")
+        assert "no references" in cmd_replay(str(trace), "plb", 4)

@@ -1,0 +1,50 @@
+"""Tests for the Figure 1 / Figure 2 reproductions."""
+
+from __future__ import annotations
+
+from repro.analysis.figures import (
+    figure1_fields,
+    figure2_check_matrix,
+    render_figure1,
+    render_figure2,
+)
+from repro.core.params import MachineParams
+
+
+class TestFigure1:
+    def test_paper_field_widths(self):
+        """Figure 1's caption: 52 / 16 / 3 bits for 64-bit VAs, 4K pages."""
+        fields = figure1_fields()
+        assert fields.vpn_bits == 52
+        assert fields.pd_id_bits == 16
+        assert fields.rights_bits == 3
+        assert fields.entry_bits == 71
+
+    def test_widths_track_parameters(self):
+        fields = figure1_fields(MachineParams(va_bits=48, page_bits=13))
+        assert fields.vpn_bits == 35
+
+    def test_render_mentions_widths(self):
+        text = render_figure1()
+        assert "52 bits" in text
+        assert "16 bits" in text
+        assert "3 bits" in text
+        assert "PLB" in text
+
+
+class TestFigure2:
+    def test_every_case_matches_the_figure(self):
+        results = figure2_check_matrix()
+        assert len(results) >= 8
+        assert all(entry["matches"] for entry in results)
+
+    def test_covers_both_outcomes(self):
+        results = figure2_check_matrix()
+        assert any(entry["allowed"] for entry in results)
+        assert any(not entry["allowed"] for entry in results)
+        assert any(not entry["group_hit"] for entry in results)
+
+    def test_render_is_a_table(self):
+        text = render_figure2()
+        assert "scenario" in text
+        assert "MISMATCH" not in text

@@ -1,0 +1,63 @@
+"""Tests for the ASCII report renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import comparison_table, format_table, ratio
+from repro.sim.stats import Stats
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.23" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_numbers_right_aligned_strings_left(self):
+        text = format_table(["name", "n"], [["x", 5], ["longer", 123]])
+        rows = text.splitlines()[2:]
+        assert rows[0].startswith("x ")
+        assert rows[0].rstrip().endswith("5")
+
+
+class TestComparisonTable:
+    def test_models_as_columns(self):
+        stats = {
+            "plb": Stats({"plb.hit": 10}),
+            "pagegroup": Stats({"pgtlb.hit": 7}),
+        }
+        text = comparison_table(
+            stats, [("PLB hits", "plb.hit"), ("PG-TLB hits", "pgtlb.hit")]
+        )
+        assert "plb" in text.splitlines()[0]
+        assert "pagegroup" in text.splitlines()[0]
+        assert "10" in text and "7" in text
+
+    def test_wildcard_counter_sums_prefix(self):
+        stats = {"m": Stats({"plb.hit": 2, "plb.miss": 3})}
+        text = comparison_table(stats, [("all plb", "plb.*")])
+        assert "5" in text
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(10, 4) == 2.5
+
+    def test_zero_denominator(self):
+        assert ratio(10, 0) == 0.0

@@ -1,0 +1,44 @@
+"""Tests for the cross-workload summary module."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.summary import SummaryRow, render_summary, run_summary
+from repro.core.costs import CycleCosts
+
+
+class TestRender:
+    def rows(self):
+        return [
+            SummaryRow("alpha", {"plb": 100, "pagegroup": 120}),
+            SummaryRow("beta", {"plb": 200, "pagegroup": 150}),
+        ]
+
+    def test_ratios_and_geomean(self):
+        text = render_summary(self.rows())
+        assert "1.20x" in text
+        assert "0.75x" in text
+        # geomean(1.2, 0.75) = sqrt(0.9) ≈ 0.95
+        assert "pagegroup/plb = 0.95x" in text
+
+    def test_workload_names_present(self):
+        text = render_summary(self.rows())
+        assert "alpha" in text and "beta" in text
+
+
+class TestRun:
+    def test_runs_all_workloads_two_models(self):
+        rows = run_summary(models=("plb", "pagegroup"))
+        assert len(rows) == 8
+        for row in rows:
+            assert set(row.cycles) == {"plb", "pagegroup"}
+            assert all(value > 0 for value in row.cycles.values())
+
+    def test_custom_costs_change_totals(self):
+        cheap = CycleCosts(kernel_trap=1, disk_io=1)
+        rows_default = run_summary(models=("plb",))
+        rows_cheap = run_summary(models=("plb",), costs=cheap)
+        defaults = {row.workload: row.cycles["plb"] for row in rows_default}
+        cheaps = {row.workload: row.cycles["plb"] for row in rows_cheap}
+        assert all(cheaps[name] < defaults[name] for name in defaults)

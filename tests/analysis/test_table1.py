@@ -1,0 +1,89 @@
+"""Tests for the Table 1 regeneration harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.table1 import (
+    run_attach_detach,
+    run_checkpoint,
+    run_dsm,
+    run_gc,
+    run_rpc,
+    run_txn,
+)
+from repro.workloads.attach import AttachConfig
+from repro.workloads.checkpoint import CheckpointConfig
+from repro.workloads.gc import GCConfig
+from repro.workloads.rpc import RPCConfig
+from repro.workloads.txn import TxnConfig
+
+SMALL_MODELS = ("plb", "pagegroup")
+
+
+class TestMatrixRuns:
+    def test_attach_detach_has_all_models(self):
+        result = run_attach_detach(
+            AttachConfig(segments=3, pages_per_segment=2), models=SMALL_MODELS
+        )
+        assert set(result.stats_by_model) == set(SMALL_MODELS)
+        assert all(s["attaches"] == 3 for s in result.summary_by_model.values())
+
+    def test_render_contains_counters_and_cycles(self):
+        result = run_rpc(RPCConfig(calls=5), models=SMALL_MODELS)
+        text = result.render()
+        assert "PD-ID register writes" in text
+        assert "weighted cycles" in text
+
+    def test_cycles_positive(self):
+        result = run_gc(
+            GCConfig(heap_pages=8, collections=1, mutator_refs_per_cycle=100),
+            models=SMALL_MODELS,
+        )
+        cycles = result.cycles()
+        assert all(value > 0 for value in cycles.values())
+
+    def test_workload_summaries_identical_across_models(self):
+        """Same inputs: the application-level work must match."""
+        result = run_checkpoint(
+            CheckpointConfig(segment_pages=8, checkpoints=1, refs_per_checkpoint=80),
+            models=SMALL_MODELS,
+        )
+        summaries = list(result.summary_by_model.values())
+        assert summaries[0] == summaries[1]
+
+    def test_dsm_patterns(self):
+        result = run_dsm(models=("plb",), nodes=2, pages=8, rounds=1,
+                         refs_per_round=50)
+        assert result.summary_by_model["plb"]["get_writable"] > 0
+        with pytest.raises(ValueError):
+            run_dsm(models=("plb",), pattern="bogus")
+
+    def test_txn_strategy_in_title(self):
+        result = run_txn(
+            TxnConfig(db_pages=8, transactions=2, touches_per_txn=6,
+                      lock_strategy="page"),
+            models=("pagegroup",),
+        )
+        assert "page" in result.title
+
+
+class TestPaperDirection:
+    """The qualitative directions Table 1 predicts, checked end-to-end."""
+
+    def test_detach_sweeps_only_on_plb(self):
+        result = run_attach_detach(
+            AttachConfig(segments=4, pages_per_segment=4),
+            models=("plb", "pagegroup"),
+        )
+        plb = result.stats_by_model["plb"]
+        pg = result.stats_by_model["pagegroup"]
+        assert plb["plb.sweep_inspected"] > 0
+        assert pg.total("plb") == 0
+
+    def test_rpc_switch_cost_direction(self):
+        result = run_rpc(RPCConfig(calls=15), models=("plb", "pagegroup"))
+        plb = result.stats_by_model["plb"]
+        pg = result.stats_by_model["pagegroup"]
+        assert plb["group_reload"] == 0
+        assert pg["group_reload"] > 0

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import MachineParams
+from repro.core.rights import Rights
+from repro.os.kernel import Kernel, MODELS
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def params() -> MachineParams:
+    return MachineParams()
+
+
+@pytest.fixture(params=MODELS)
+def any_model(request) -> str:
+    """Parameterize a test over all three memory-system models."""
+    return request.param
+
+
+@pytest.fixture
+def kernel(any_model: str) -> Kernel:
+    """A kernel of each model in turn."""
+    return Kernel(any_model)
+
+
+@pytest.fixture
+def plb_kernel() -> Kernel:
+    return Kernel("plb")
+
+
+@pytest.fixture
+def pagegroup_kernel() -> Kernel:
+    return Kernel("pagegroup")
+
+
+@pytest.fixture
+def conventional_kernel() -> Kernel:
+    return Kernel("conventional")
+
+
+@pytest.fixture
+def machine(kernel: Kernel) -> Machine:
+    return Machine(kernel)
+
+
+def make_attached_segment(kernel: Kernel, n_pages: int = 8, rights: Rights = Rights.RW):
+    """Helper: one domain attached to one fresh segment."""
+    domain = kernel.create_domain("test-domain")
+    segment = kernel.create_segment("test-segment", n_pages)
+    kernel.attach(domain, segment, rights)
+    return domain, segment

@@ -1,0 +1,149 @@
+"""Tests for the execution-point protection extension (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.execpoint import (
+    ContextKind,
+    ExecContext,
+    ExecPointMMU,
+    ExecPointPolicyTable,
+)
+from repro.core.rights import AccessType, Rights
+
+PAGE = 4096
+DATA = 0x100 * PAGE
+ACCESSOR = 0x200 * PAGE
+OTHER_CODE = 0x201 * PAGE
+
+
+def make_mmu() -> ExecPointMMU:
+    return ExecPointMMU(ExecPointPolicyTable())
+
+
+class TestContextEncoding:
+    def test_domain_and_exec_contexts_never_collide(self):
+        domain = ExecContext(ContextKind.DOMAIN, 7)
+        exec_page = ExecContext(ContextKind.EXEC_PAGE, 7)
+        assert domain.encode() != exec_page.encode()
+
+    def test_distinct_idents_distinct_tags(self):
+        tags = {ExecContext(ContextKind.EXEC_PAGE, i).encode() for i in range(10)}
+        tags |= {ExecContext(ContextKind.DOMAIN, i).encode() for i in range(10)}
+        assert len(tags) == 20
+
+
+class TestDomainPolicy:
+    def test_plain_domain_grants(self):
+        mmu = make_mmu()
+        mmu.policy.grant_domain(0x100, pd_id=1, rights=Rights.RW)
+        assert mmu.check(1, ACCESSOR, DATA, AccessType.WRITE)
+        assert not mmu.check(2, ACCESSOR, DATA, AccessType.READ)
+
+    def test_pc_irrelevant_under_domain_policy(self):
+        mmu = make_mmu()
+        mmu.policy.grant_domain(0x100, pd_id=1, rights=Rights.READ)
+        assert mmu.check(1, ACCESSOR, DATA, AccessType.READ)
+        assert mmu.check(1, OTHER_CODE, DATA, AccessType.READ)
+
+
+class TestSealedPages:
+    """The paper's example: page A accessible only while executing B."""
+
+    def test_access_allowed_only_from_accessor_code(self):
+        mmu = make_mmu()
+        mmu.policy.seal_to_code(0x100, {0x200: Rights.RW})
+        # Any domain, executing from the accessor page: allowed.
+        assert mmu.check(1, ACCESSOR, DATA, AccessType.WRITE)
+        assert mmu.check(42, ACCESSOR, DATA, AccessType.READ)
+        # The same domains, executing from anywhere else: denied.
+        assert not mmu.check(1, OTHER_CODE, DATA, AccessType.READ)
+        assert not mmu.check(42, OTHER_CODE, DATA, AccessType.READ)
+
+    def test_read_only_gateway(self):
+        mmu = make_mmu()
+        mmu.policy.seal_to_code(0x100, {0x200: Rights.RW, 0x201: Rights.READ})
+        assert mmu.check(1, OTHER_CODE, DATA, AccessType.READ)
+        assert not mmu.check(1, OTHER_CODE, DATA, AccessType.WRITE)
+        assert mmu.check(1, ACCESSOR, DATA, AccessType.WRITE)
+
+    def test_default_rights_for_unlisted_code(self):
+        mmu = make_mmu()
+        mmu.policy.seal_to_code(0x100, {0x200: Rights.RW}, default=Rights.READ)
+        assert mmu.check(1, OTHER_CODE, DATA, AccessType.READ)
+        assert not mmu.check(1, OTHER_CODE, DATA, AccessType.WRITE)
+
+    def test_unsealed_page_inaccessible(self):
+        mmu = make_mmu()
+        assert not mmu.check(1, ACCESSOR, DATA, AccessType.READ)
+
+
+class TestCachingBehaviour:
+    def test_entries_cached_per_context(self):
+        mmu = make_mmu()
+        mmu.policy.seal_to_code(0x100, {0x200: Rights.RW})
+        mmu.check(1, ACCESSOR, DATA, AccessType.READ)
+        refills = mmu.stats["xp.refill"]
+        # Same context (exec page), different domain: same cached entry.
+        mmu.check(9, ACCESSOR, DATA, AccessType.READ)
+        assert mmu.stats["xp.refill"] == refills
+        # Different executing page: a new context, a new entry.
+        mmu.check(1, OTHER_CODE, DATA, AccessType.READ)
+        assert mmu.stats["xp.refill"] == refills + 1
+
+    def test_revoke_purges_all_contexts(self):
+        mmu = make_mmu()
+        mmu.policy.seal_to_code(0x100, {0x200: Rights.RW, 0x201: Rights.READ})
+        mmu.check(1, ACCESSOR, DATA, AccessType.READ)
+        mmu.check(1, OTHER_CODE, DATA, AccessType.READ)
+        mmu.revoke_page(0x100)
+        assert not mmu.check(1, ACCESSOR, DATA, AccessType.READ)
+        assert not mmu.check(1, OTHER_CODE, DATA, AccessType.READ)
+
+    def test_denied_accesses_counted(self):
+        mmu = make_mmu()
+        mmu.policy.seal_to_code(0x100, {0x200: Rights.READ})
+        mmu.check(1, ACCESSOR, DATA, AccessType.WRITE)
+        assert mmu.stats["xp.denied"] == 1
+
+
+class TestExecPointProperties:
+    @settings(max_examples=50)
+    @given(
+        accessors=st.dictionaries(
+            st.integers(0x300, 0x30F),
+            st.sampled_from([Rights.READ, Rights.RW]),
+            min_size=1, max_size=4,
+        ),
+        pc_page=st.integers(0x300, 0x31F),
+        pd_id=st.integers(1, 50),
+        access=st.sampled_from([AccessType.READ, AccessType.WRITE]),
+    )
+    def test_sealed_page_decision_matches_policy(
+        self, accessors, pc_page, pd_id, access
+    ):
+        """For any sealed page, the hardware decision equals the policy
+        table's grant for the executing page, regardless of domain."""
+        mmu = make_mmu()
+        mmu.policy.seal_to_code(0x100, accessors)
+        allowed = mmu.check(pd_id, pc_page * PAGE, DATA, access)
+        expected = accessors.get(pc_page, Rights.NONE).allows(access)
+        assert allowed == expected
+
+    @settings(max_examples=30)
+    @given(
+        checks=st.lists(
+            st.tuples(st.integers(1, 5), st.integers(0x300, 0x303)),
+            min_size=1, max_size=30,
+        )
+    )
+    def test_cached_entries_per_exec_page_not_per_domain(self, checks):
+        """Refills scale with distinct executing pages, not domains."""
+        mmu = make_mmu()
+        mmu.policy.seal_to_code(0x100, {0x300: Rights.RW})
+        for pd_id, pc_page in checks:
+            mmu.check(pd_id, pc_page * PAGE, DATA, AccessType.READ)
+        distinct_pcs = len({pc for _, pc in checks})
+        assert mmu.stats["xp.refill"] <= distinct_pcs

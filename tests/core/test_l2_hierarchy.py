@@ -1,0 +1,75 @@
+"""Tests for the two-level cache organization (§3.2.1's L2+TLB design)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rights import Rights
+from repro.os.kernel import Kernel
+from repro.sim.machine import Machine
+
+L1 = 2 * 1024
+L2 = 32 * 1024
+
+
+def make(l2_bytes=L2):
+    kernel = Kernel(
+        "plb",
+        system_options={"cache_bytes": L1, "l2_cache_bytes": l2_bytes},
+    )
+    machine = Machine(kernel)
+    domain = kernel.create_domain("d")
+    segment = kernel.create_segment("s", 16)
+    kernel.attach(domain, segment, Rights.RW)
+    return kernel, machine, domain, segment
+
+
+class TestHierarchy:
+    def test_l1_misses_fetch_through_l2(self):
+        kernel, machine, domain, segment = make()
+        base = kernel.params.vaddr(segment.base_vpn)
+        for offset in range(0, 4096, 32):
+            machine.read(domain, base + offset)
+        assert kernel.stats["l2cache.miss"] > 0
+        assert kernel.stats["l2cache.fill"] == kernel.stats["dcache.miss"]
+
+    def test_l2_absorbs_l1_conflict_misses(self):
+        """Lines evicted from the small L1 hit in the L2 on return."""
+        kernel, machine, domain, segment = make()
+        base = kernel.params.vaddr(segment.base_vpn)
+        # Touch a footprint larger than L1 but smaller than L2, twice.
+        footprint = 4 * L1
+        for repeat in range(2):
+            for offset in range(0, footprint, 32):
+                machine.read(domain, base + offset)
+        # Second pass misses L1 (capacity) but hits L2.
+        assert kernel.stats["l2cache.hit"] > 0
+
+    def test_dirty_victims_write_into_l2(self):
+        kernel, machine, domain, segment = make()
+        base = kernel.params.vaddr(segment.base_vpn)
+        footprint = 4 * L1
+        for offset in range(0, footprint, 32):
+            machine.write(domain, base + offset)
+        assert kernel.stats["dcache.writeback"] > 0
+        # Each writeback became an L2 access (write-allocate).
+        assert kernel.stats["l2cache.fill"] >= kernel.stats["dcache.writeback"]
+
+    def test_translation_counted_once_per_l1_miss(self):
+        """The L2 fetch reuses the TLB resolution from the L1 miss."""
+        kernel, machine, domain, segment = make()
+        base = kernel.params.vaddr(segment.base_vpn)
+        machine.read(domain, base)
+        assert kernel.stats["tlb.off_chip_access"] == 1
+
+    def test_no_l2_by_default(self):
+        kernel = Kernel("plb")
+        from repro.core.mmu import PLBSystem
+
+        assert isinstance(kernel.system, PLBSystem)
+        assert kernel.system.l2 is None
+        domain = kernel.create_domain("d")
+        segment = kernel.create_segment("s", 2)
+        kernel.attach(domain, segment, Rights.RW)
+        Machine(kernel).read(domain, kernel.params.vaddr(segment.base_vpn))
+        assert kernel.stats.total("l2cache") == 0

@@ -1,0 +1,87 @@
+"""Unit tests for machine parameters and address arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import DEFAULT_PARAMS, MachineParams
+
+
+class TestDefaults:
+    def test_paper_figure1_defaults(self):
+        """The defaults must reproduce Figure 1's assumptions."""
+        p = DEFAULT_PARAMS
+        assert p.va_bits == 64
+        assert p.pa_bits == 36
+        assert p.page_size == 4096
+        assert p.vpn_bits == 52  # Figure 1: 52-bit VPN field
+        assert p.pd_id_bits == 16  # Figure 1: 16-bit PD-ID field
+        assert p.rights_bits == 3  # Figure 1: 3-bit rights field
+        assert p.cache_line_bytes == 32  # Section 3.2.1's 10% example
+
+    def test_derived_widths(self):
+        p = DEFAULT_PARAMS
+        assert p.pfn_bits == 24  # 36 - 12
+        assert p.line_offset_bits == 5  # 32-byte lines
+
+
+class TestValidation:
+    def test_rejects_page_larger_than_va(self):
+        with pytest.raises(ValueError):
+            MachineParams(va_bits=16, page_bits=16)
+
+    def test_rejects_pa_wider_than_va(self):
+        with pytest.raises(ValueError):
+            MachineParams(va_bits=32, pa_bits=40)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            MachineParams(cache_line_bytes=24)
+
+    def test_rejects_zero_line(self):
+        with pytest.raises(ValueError):
+            MachineParams(cache_line_bytes=0)
+
+
+class TestAddressArithmetic:
+    def test_vpn_extraction(self):
+        p = DEFAULT_PARAMS
+        assert p.vpn(0) == 0
+        assert p.vpn(4095) == 0
+        assert p.vpn(4096) == 1
+        assert p.vpn(0x123456789) == 0x123456789 >> 12
+
+    def test_page_offset(self):
+        p = DEFAULT_PARAMS
+        assert p.page_offset(4096) == 0
+        assert p.page_offset(4097) == 1
+        assert p.page_offset(4095) == 4095
+
+    def test_vaddr_composition(self):
+        p = DEFAULT_PARAMS
+        assert p.vaddr(1) == 4096
+        assert p.vaddr(2, 100) == 8292
+
+    @given(st.integers(0, (1 << 64) - 1))
+    def test_vpn_offset_roundtrip(self, vaddr):
+        p = DEFAULT_PARAMS
+        assert p.vaddr(p.vpn(vaddr), p.page_offset(vaddr)) == vaddr
+
+    @given(st.integers(0, (1 << 52) - 1), st.integers(0, 4095))
+    def test_compose_decompose(self, vpn, offset):
+        p = DEFAULT_PARAMS
+        vaddr = p.vaddr(vpn, offset)
+        assert p.vpn(vaddr) == vpn
+        assert p.page_offset(vaddr) == offset
+
+
+class TestAlternativeGeometries:
+    def test_larger_pages_shrink_vpn(self):
+        p = MachineParams(page_bits=14)  # 16K pages
+        assert p.vpn_bits == 50
+        assert p.page_size == 16384
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_PARAMS.va_bits = 32  # type: ignore[misc]

@@ -1,0 +1,114 @@
+"""Unit and property tests for access rights."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rights import AccessType, Rights, parse_rights
+
+
+class TestRights:
+    def test_none_allows_nothing(self):
+        for access in AccessType:
+            assert not Rights.NONE.allows(access)
+
+    def test_rwx_allows_everything(self):
+        for access in AccessType:
+            assert Rights.RWX.allows(access)
+
+    @pytest.mark.parametrize(
+        "rights,access,expected",
+        [
+            (Rights.READ, AccessType.READ, True),
+            (Rights.READ, AccessType.WRITE, False),
+            (Rights.READ, AccessType.EXECUTE, False),
+            (Rights.WRITE, AccessType.WRITE, True),
+            (Rights.WRITE, AccessType.READ, False),
+            (Rights.RW, AccessType.READ, True),
+            (Rights.RW, AccessType.WRITE, True),
+            (Rights.RW, AccessType.EXECUTE, False),
+            (Rights.EXECUTE, AccessType.EXECUTE, True),
+            (Rights.RX, AccessType.EXECUTE, True),
+            (Rights.RX, AccessType.WRITE, False),
+        ],
+    )
+    def test_allows_matrix(self, rights, access, expected):
+        assert rights.allows(access) is expected
+
+    def test_without_write_strips_only_write(self):
+        assert Rights.RWX.without_write() == Rights.RX
+        assert Rights.RW.without_write() == Rights.READ
+        assert Rights.READ.without_write() == Rights.READ
+        assert Rights.NONE.without_write() == Rights.NONE
+
+    def test_describe(self):
+        assert Rights.NONE.describe() == "---"
+        assert Rights.RW.describe() == "rw-"
+        assert Rights.RWX.describe() == "rwx"
+        assert Rights.EXECUTE.describe() == "--x"
+
+    def test_flags_combine(self):
+        assert (Rights.READ | Rights.WRITE) == Rights.RW
+        assert (Rights.RW & Rights.READ) == Rights.READ
+
+
+class TestAccessType:
+    def test_required_rights(self):
+        assert AccessType.READ.required_right == Rights.READ
+        assert AccessType.WRITE.required_right == Rights.WRITE
+        assert AccessType.EXECUTE.required_right == Rights.EXECUTE
+
+    def test_is_write(self):
+        assert AccessType.WRITE.is_write
+        assert not AccessType.READ.is_write
+        assert not AccessType.EXECUTE.is_write
+
+
+class TestParseRights:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("", Rights.NONE),
+            ("---", Rights.NONE),
+            ("r", Rights.READ),
+            ("rw", Rights.RW),
+            ("rw-", Rights.RW),
+            ("r-x", Rights.RX),
+            ("rwx", Rights.RWX),
+            ("x", Rights.EXECUTE),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_rights(text) == expected
+
+    def test_rejects_unknown_characters(self):
+        with pytest.raises(ValueError, match="unknown rights character"):
+            parse_rights("rq")
+
+
+class TestRightsProperties:
+    rights_strategy = st.sampled_from(
+        [Rights.NONE, Rights.READ, Rights.WRITE, Rights.EXECUTE,
+         Rights.RW, Rights.RX, Rights.RWX, Rights.WRITE | Rights.EXECUTE]
+    )
+
+    @given(rights_strategy)
+    def test_describe_parse_roundtrip(self, rights):
+        assert parse_rights(rights.describe()) == rights
+
+    @given(rights_strategy)
+    def test_without_write_never_allows_write(self, rights):
+        assert not rights.without_write().allows(AccessType.WRITE)
+
+    @given(rights_strategy)
+    def test_without_write_preserves_read_execute(self, rights):
+        stripped = rights.without_write()
+        assert stripped.allows(AccessType.READ) == rights.allows(AccessType.READ)
+        assert stripped.allows(AccessType.EXECUTE) == rights.allows(AccessType.EXECUTE)
+
+    @given(rights_strategy, rights_strategy)
+    def test_union_allows_superset(self, a, b):
+        union = a | b
+        for access in AccessType:
+            assert union.allows(access) == (a.allows(access) or b.allows(access))

@@ -1,0 +1,209 @@
+"""Unit and property tests for the generic associative cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.assoc import AssocCache
+from repro.sim.stats import Stats
+
+
+def make(entries=4, ways=None, **kw) -> AssocCache:
+    return AssocCache(entries, ways, name="t", **kw)
+
+
+class TestConstruction:
+    def test_defaults_to_fully_associative(self):
+        cache = make(8)
+        assert cache.ways == 8
+        assert cache.n_sets == 1
+
+    def test_set_associative_shape(self):
+        cache = AssocCache(8, 2, set_of=lambda k: k)
+        assert cache.n_sets == 4
+
+    @pytest.mark.parametrize("entries,ways", [(0, 1), (4, 0), (7, 2), (-1, 1)])
+    def test_rejects_bad_geometry(self, entries, ways):
+        with pytest.raises(ValueError):
+            AssocCache(entries, ways)
+
+
+class TestLookupFill:
+    def test_miss_then_hit(self):
+        cache = make()
+        assert cache.lookup("k") is None
+        cache.fill("k", 1)
+        assert cache.lookup("k") == 1
+        assert cache.stats["t.miss"] == 1
+        assert cache.stats["t.hit"] == 1
+
+    def test_fill_overwrites_in_place(self):
+        cache = make()
+        cache.fill("k", 1)
+        cache.fill("k", 2)
+        assert cache.lookup("k") == 2
+        assert len(cache) == 1
+
+    def test_peek_does_not_touch_lru_or_stats(self):
+        cache = make(entries=2)
+        cache.fill("a", 1)
+        cache.fill("b", 2)
+        assert cache.peek("a") == 1  # no LRU promotion
+        cache.fill("c", 3)  # evicts LRU
+        assert "a" not in cache  # peek did not protect it
+        assert cache.stats["t.hit"] == 0
+
+    def test_update_resident(self):
+        cache = make()
+        cache.fill("k", 1)
+        assert cache.update("k", 9)
+        assert cache.peek("k") == 9
+        assert cache.stats["t.update"] == 1
+
+    def test_update_missing_returns_false(self):
+        cache = make()
+        assert not cache.update("k", 9)
+
+
+class TestLRUReplacement:
+    def test_evicts_least_recently_used(self):
+        cache = make(entries=2)
+        cache.fill("a", 1)
+        cache.fill("b", 2)
+        cache.lookup("a")  # promote a
+        victim = cache.fill("c", 3)
+        assert victim == "b"
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_eviction_counted(self):
+        cache = make(entries=1)
+        cache.fill("a", 1)
+        cache.fill("b", 2)
+        assert cache.stats["t.eviction"] == 1
+
+    def test_set_isolation(self):
+        cache = AssocCache(4, 2, set_of=lambda k: k)
+        # Keys 0 and 2 map to set 0; keys 1 and 3 to set 1.
+        cache.fill(0, "a")
+        cache.fill(2, "b")
+        cache.fill(1, "c")
+        victim = cache.fill(4, "d")  # set 0 again; evicts LRU of set 0
+        assert victim == 0
+        assert 1 in cache  # other set untouched
+
+    def test_occupancy(self):
+        cache = make(entries=4)
+        assert cache.occupancy == 0.0
+        cache.fill("a", 1)
+        assert cache.occupancy == 0.25
+
+
+class TestInvalidation:
+    def test_invalidate_exact(self):
+        cache = make()
+        cache.fill("a", 1)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert "a" not in cache
+
+    def test_sweep_counts_inspections_and_removals(self):
+        cache = make(entries=8)
+        for key in range(6):
+            cache.fill(key, key)
+        inspected, removed = cache.sweep(lambda k, v: k % 2 == 0)
+        assert inspected == 6
+        assert removed == 3
+        assert cache.stats["t.sweep_inspected"] == 6
+        assert cache.stats["t.sweep_removed"] == 3
+        assert sorted(cache.keys()) == [1, 3, 5]
+
+    def test_sweep_nothing_matching(self):
+        cache = make()
+        cache.fill("a", 1)
+        inspected, removed = cache.sweep(lambda k, v: False)
+        assert (inspected, removed) == (1, 0)
+        assert "a" in cache
+
+    def test_purge_removes_all(self):
+        cache = make(entries=8)
+        for key in range(5):
+            cache.fill(key, key)
+        assert cache.purge() == 5
+        assert len(cache) == 0
+        assert cache.stats["t.purge_removed"] == 5
+
+
+class TestSharedStats:
+    def test_external_stats_object(self):
+        stats = Stats()
+        cache = AssocCache(2, name="x", stats=stats, set_of=lambda k: k)
+        cache.fill(1, 1)
+        assert stats["x.fill"] == 1
+
+
+class TestAssocProperties:
+    @settings(max_examples=60)
+    @given(
+        keys=st.lists(st.integers(0, 30), min_size=1, max_size=120),
+        entries=st.sampled_from([2, 4, 8]),
+        ways=st.sampled_from([1, 2]),
+    )
+    def test_occupancy_never_exceeds_capacity(self, keys, entries, ways):
+        if entries % ways:
+            return
+        cache = AssocCache(entries, ways, set_of=lambda k: k)
+        for key in keys:
+            cache.fill(key, key)
+        assert len(cache) <= entries
+        for entry_set in cache._sets:
+            assert len(entry_set) <= ways
+
+    @settings(max_examples=60)
+    @given(keys=st.lists(st.integers(0, 10), min_size=1, max_size=60))
+    def test_most_recent_fill_always_resident_fully_assoc(self, keys):
+        cache = AssocCache(4, set_of=lambda k: k)
+        for key in keys:
+            cache.fill(key, key)
+        assert keys[-1] in cache
+
+    @settings(max_examples=60)
+    @given(keys=st.lists(st.integers(0, 50), min_size=1, max_size=100))
+    def test_hits_plus_misses_equals_lookups(self, keys):
+        cache = AssocCache(8, name="c", set_of=lambda k: k)
+        for key in keys:
+            if cache.lookup(key) is None:
+                cache.fill(key, key)
+        assert cache.stats["c.hit"] + cache.stats["c.miss"] == len(keys)
+
+    @settings(max_examples=40)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["fill", "lookup", "invalidate"]), st.integers(0, 12)),
+            max_size=80,
+        )
+    )
+    def test_resident_set_matches_model(self, ops):
+        """The cache agrees with a brute-force LRU model."""
+        cache = AssocCache(4, set_of=lambda k: k)
+        model: list[int] = []  # LRU order, front = LRU
+        for op, key in ops:
+            if op == "fill":
+                cache.fill(key, key)
+                if key in model:
+                    model.remove(key)
+                elif len(model) >= 4:
+                    model.pop(0)
+                model.append(key)
+            elif op == "lookup":
+                found = cache.lookup(key)
+                assert (found is not None) == (key in model)
+                if key in model:
+                    model.remove(key)
+                    model.append(key)
+            else:
+                removed = cache.invalidate(key)
+                assert removed == (key in model)
+                if key in model:
+                    model.remove(key)
+        assert sorted(cache.keys()) == sorted(model)

@@ -1,0 +1,79 @@
+"""Unit tests for the backing store and compressed store."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.backing import BackingStore, CompressedStore
+
+
+class TestBackingStore:
+    def test_write_read_roundtrip(self):
+        store = BackingStore()
+        store.write(5, b"page data")
+        assert store.read(5) == b"page data"
+
+    def test_read_missing_raises(self):
+        with pytest.raises(KeyError):
+            BackingStore().read(9)
+
+    def test_overwrite(self):
+        store = BackingStore()
+        store.write(1, b"old")
+        store.write(1, b"new")
+        assert store.read(1) == b"new"
+        assert len(store) == 1
+
+    def test_discard(self):
+        store = BackingStore()
+        store.write(1, b"x")
+        assert store.discard(1)
+        assert not store.discard(1)
+        assert 1 not in store
+
+    def test_io_counters(self):
+        store = BackingStore()
+        store.write(1, b"abcd")
+        store.read(1)
+        assert store.stats["disk.write"] == 1
+        assert store.stats["disk.read"] == 1
+        assert store.stats["disk.bytes_written"] == 4
+        assert store.stats["disk.bytes_read"] == 4
+
+
+class TestCompressedStore:
+    def test_roundtrip_preserves_data(self):
+        store = CompressedStore()
+        data = bytes(3000) + b"incompressible-ish tail" * 10
+        store.page_out(7, data)
+        assert store.page_in(7) == data
+
+    def test_compressible_data_shrinks(self):
+        store = CompressedStore()
+        stored = store.page_out(1, bytes(4096))
+        assert stored < 4096
+        assert store.compression_ratio > 10
+
+    def test_ratio_zero_before_any_pageout(self):
+        assert CompressedStore().compression_ratio == 0.0
+
+    def test_contains(self):
+        store = CompressedStore()
+        store.page_out(3, b"data")
+        assert 3 in store
+        assert 4 not in store
+
+    def test_counters(self):
+        store = CompressedStore()
+        store.page_out(1, bytes(100))
+        store.page_in(1)
+        assert store.stats["compress.page_out"] == 1
+        assert store.stats["compress.page_in"] == 1
+        assert store.stats["compress.raw_bytes"] == 100
+
+    @given(st.binary(max_size=4096))
+    def test_any_page_roundtrips(self, data):
+        store = CompressedStore()
+        store.page_out(0, data)
+        assert store.page_in(0) == data

@@ -1,0 +1,100 @@
+"""Unit tests for physical memory and the frame allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.memory import OutOfMemoryError, PhysicalMemory
+
+
+class TestAllocation:
+    def test_allocate_returns_distinct_frames(self):
+        memory = PhysicalMemory(4)
+        frames = [memory.allocate() for _ in range(4)]
+        assert len({frame.pfn for frame in frames}) == 4
+        assert all(0 <= frame.pfn < 4 for frame in frames)
+
+    def test_exhaustion_raises(self):
+        memory = PhysicalMemory(2)
+        memory.allocate()
+        memory.allocate()
+        with pytest.raises(OutOfMemoryError):
+            memory.allocate()
+
+    def test_release_recycles(self):
+        memory = PhysicalMemory(1)
+        frame = memory.allocate()
+        memory.release(frame.pfn)
+        again = memory.allocate()
+        assert again.pfn == frame.pfn
+
+    def test_release_unallocated_raises(self):
+        memory = PhysicalMemory(4)
+        with pytest.raises(KeyError):
+            memory.release(0)
+
+    def test_counters(self):
+        memory = PhysicalMemory(4)
+        frame = memory.allocate()
+        memory.release(frame.pfn)
+        assert memory.stats["memory.allocate"] == 1
+        assert memory.stats["memory.release"] == 1
+
+    def test_free_and_used_tracking(self):
+        memory = PhysicalMemory(3)
+        assert memory.free_frames == 3
+        frame = memory.allocate()
+        assert memory.free_frames == 2
+        assert memory.used_frames == 1
+        assert memory.is_allocated(frame.pfn)
+
+    def test_vpn_recorded(self):
+        memory = PhysicalMemory(2)
+        frame = memory.allocate(vpn=0x42)
+        assert memory.frame(frame.pfn).vpn == 0x42
+
+    def test_rejects_empty_memory(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0)
+
+
+class TestPageContents:
+    def test_write_then_read(self):
+        memory = PhysicalMemory(2, page_size=128)
+        frame = memory.allocate()
+        memory.write_page(frame.pfn, b"hello")
+        assert memory.read_page(frame.pfn) == b"hello"
+
+    def test_unwritten_page_reads_none(self):
+        memory = PhysicalMemory(2)
+        frame = memory.allocate()
+        assert memory.read_page(frame.pfn) is None
+
+    def test_oversized_image_rejected(self):
+        memory = PhysicalMemory(2, page_size=16)
+        frame = memory.allocate()
+        with pytest.raises(ValueError):
+            memory.write_page(frame.pfn, b"x" * 17)
+
+    def test_release_discards_contents(self):
+        memory = PhysicalMemory(1, page_size=64)
+        frame = memory.allocate()
+        memory.write_page(frame.pfn, b"secret")
+        memory.release(frame.pfn)
+        again = memory.allocate()
+        assert memory.read_page(again.pfn) is None
+
+
+class TestMemoryProperties:
+    @given(st.lists(st.booleans(), max_size=60))
+    def test_alloc_release_conservation(self, ops):
+        """free + used always equals total frames."""
+        memory = PhysicalMemory(8)
+        live: list[int] = []
+        for allocate in ops:
+            if allocate and memory.free_frames:
+                live.append(memory.allocate().pfn)
+            elif not allocate and live:
+                memory.release(live.pop())
+            assert memory.free_frames + memory.used_frames == 8

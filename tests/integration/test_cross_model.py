@@ -1,0 +1,111 @@
+"""Cross-model integration: the comparison methodology itself.
+
+The paper's evaluation only makes sense if the same workload does the
+same *application-level* work on every model, leaving the hardware
+event counts as the only difference.  These tests pin that property for
+random traces (hypothesis) and for the packaged workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rights import AccessType, Rights
+from repro.os.kernel import Kernel, MODELS
+from repro.sim.machine import Machine
+from repro.sim.trace import Ref
+
+
+def build_machine(model: str):
+    kernel = Kernel(model)
+    machine = Machine(kernel)
+    # RWX everywhere: attachment rights for the domain-page models and
+    # the page-rights field for the page-group model.
+    segment = kernel.create_segment("shared", 16, group_rights=Rights.RWX)
+    domains = [kernel.create_domain(f"d{i}") for i in range(3)]
+    for domain in domains:
+        kernel.attach(domain, segment, Rights.RWX)
+    return kernel, machine, segment, domains
+
+
+trace_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 2),  # domain index
+        st.integers(0, 15),  # page index
+        st.integers(0, 4095),  # offset
+        st.sampled_from(list(AccessType)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestTraceDeterminism:
+    @settings(max_examples=20, deadline=None)
+    @given(ops=trace_strategy)
+    def test_same_trace_same_data_outcome_everywhere(self, ops):
+        """Any legal trace completes with identical reference counts and
+        fault-free steady state on all three models."""
+        ref_counts = {}
+        for model in MODELS:
+            kernel, machine, segment, domains = build_machine(model)
+            for d_idx, p_idx, offset, access in ops:
+                vaddr = kernel.params.vaddr(segment.vpn_at(p_idx), offset)
+                machine.touch(domains[d_idx], vaddr, access)
+            ref_counts[model] = kernel.stats["refs"]
+        assert len(set(ref_counts.values())) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(ops=trace_strategy)
+    def test_rerun_is_deterministic(self, ops):
+        """Two identical runs produce identical full counter trees."""
+        def run():
+            kernel, machine, segment, domains = build_machine("plb")
+            for d_idx, p_idx, offset, access in ops:
+                vaddr = kernel.params.vaddr(segment.vpn_at(p_idx), offset)
+                machine.touch(domains[d_idx], vaddr, access)
+            return kernel.stats.as_dict()
+
+        assert run() == run()
+
+
+class TestTranslationSharingInvariant:
+    @settings(max_examples=15, deadline=None)
+    @given(ops=trace_strategy)
+    def test_plb_tlb_never_exceeds_unique_pages(self, ops):
+        """The PLB system's TLB holds at most one entry per touched page,
+        no matter how many domains touch it (§3.2.1)."""
+        kernel, machine, segment, domains = build_machine("plb")
+        touched = set()
+        for d_idx, p_idx, offset, access in ops:
+            vaddr = kernel.params.vaddr(segment.vpn_at(p_idx), offset)
+            machine.touch(domains[d_idx], vaddr, access)
+            touched.add(segment.vpn_at(p_idx))
+        assert len(kernel.system.tlb) <= len(touched)
+        assert kernel.stats["tlb.fill"] <= len(touched)
+
+
+class TestWorkloadEquivalence:
+    @pytest.mark.parametrize(
+        "pair", [("plb", "pagegroup"), ("plb", "conventional")]
+    )
+    def test_gc_application_work_identical(self, pair):
+        from repro.workloads.gc import ConcurrentGC, GCConfig
+
+        config = GCConfig(heap_pages=12, collections=2, mutator_refs_per_cycle=250)
+        reports = [ConcurrentGC(Kernel(model), config).run() for model in pair]
+        assert reports[0].pages_scanned == reports[1].pages_scanned
+        assert reports[0].scan_faults == reports[1].scan_faults
+
+    @pytest.mark.parametrize(
+        "pair", [("plb", "pagegroup"), ("pagegroup", "conventional")]
+    )
+    def test_txn_lock_work_identical(self, pair):
+        from repro.workloads.txn import TransactionalVM, TxnConfig
+
+        config = TxnConfig(db_pages=12, transactions=4, touches_per_txn=10)
+        reports = [TransactionalVM(Kernel(model), config).run() for model in pair]
+        assert reports[0].read_locks == reports[1].read_locks
+        assert reports[0].write_locks == reports[1].write_locks
+        assert reports[0].commits == reports[1].commits

@@ -1,0 +1,135 @@
+"""Feature-interaction matrix: extensions enabled together.
+
+The optional substrates — the inverted translation table, the PIPT L2,
+translation superpages, protection superpages — were each tested in
+isolation; this suite runs real workloads with combinations enabled to
+catch interaction bugs (the kind that only appear when, say, a
+superpage translation is demoted while an L2 holds its lines).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rights import Rights
+from repro.os.kernel import Kernel
+from repro.sim.machine import Machine
+from repro.workloads.gc import ConcurrentGC, GCConfig
+from repro.workloads.txn import TransactionalVM, TxnConfig
+
+GC_SMALL = GCConfig(heap_pages=8, collections=2, mutator_refs_per_cycle=150, seed=9)
+TXN_SMALL = TxnConfig(db_pages=12, transactions=4, touches_per_txn=8, seed=3)
+
+
+def plb_kernel_with(**features):
+    options = {}
+    if features.get("l2"):
+        options["l2_cache_bytes"] = 64 * 1024
+    if features.get("tlb_super"):
+        options["tlb_levels"] = (4, 0)
+        options["tlb_entries"] = 64
+    if features.get("plb_super"):
+        options["plb_levels"] = (3, 0)
+    return Kernel(
+        "plb",
+        system_options=options,
+        inverted_table=bool(features.get("inverted")),
+    )
+
+
+FEATURE_SETS = [
+    {"inverted": True},
+    {"l2": True},
+    {"tlb_super": True},
+    {"plb_super": True},
+    {"inverted": True, "l2": True},
+    {"tlb_super": True, "plb_super": True},
+    {"inverted": True, "l2": True, "tlb_super": True, "plb_super": True},
+]
+
+
+@pytest.mark.parametrize(
+    "features", FEATURE_SETS, ids=lambda f: "+".join(sorted(f))
+)
+class TestFeatureCombinations:
+    def test_gc_runs(self, features):
+        kernel = plb_kernel_with(**features)
+        report = ConcurrentGC(kernel, GC_SMALL).run()
+        assert report.collections == GC_SMALL.collections
+        assert report.pages_scanned == report.scan_faults
+
+    def test_txn_runs(self, features):
+        kernel = plb_kernel_with(**features)
+        report = TransactionalVM(kernel, TXN_SMALL).run()
+        assert report.commits == TXN_SMALL.transactions
+
+    def test_basic_protection_intact(self, features):
+        from repro.os.kernel import SegmentationViolation
+
+        kernel = plb_kernel_with(**features)
+        machine = Machine(kernel)
+        domain = kernel.create_domain("d")
+        other = kernel.create_domain("o")
+        segment = kernel.create_segment("s", 8)
+        kernel.attach(domain, segment, Rights.RW)
+        machine.write(domain, kernel.params.vaddr(segment.base_vpn))
+        with pytest.raises(SegmentationViolation):
+            machine.read(other, kernel.params.vaddr(segment.base_vpn))
+
+
+class TestContiguousWithEverything:
+    def test_superpage_segment_paged_out_and_back(self):
+        """Demotion interaction: a contiguous segment with a superpage
+        translation survives paging one of its pages out (demote to
+        per-page) while an L2 holds lines."""
+        from repro.os.pager import UserLevelPager
+
+        kernel = Kernel(
+            "plb",
+            system_options={"tlb_levels": (4, 0), "tlb_entries": 16,
+                            "l2_cache_bytes": 32 * 1024},
+        )
+        pager = UserLevelPager(kernel, compress=True)
+        machine = Machine(kernel)
+        domain = kernel.create_domain("d")
+        segment = kernel.create_segment("big", 16, contiguous=True)
+        kernel.attach(domain, segment, Rights.RW)
+        for vpn in segment.vpns():
+            machine.write(domain, kernel.params.vaddr(vpn))
+        assert kernel.stats["tlb.fill"] == 1  # one superpage entry
+        pager.page_out(segment.vpn_at(5))
+        # Demoted: the remaining pages refill per page; data intact.
+        for vpn in segment.vpns():
+            machine.read(domain, kernel.params.vaddr(vpn))
+        assert segment.seg_id not in kernel._contiguous
+        assert kernel.stats["pager.page_in"] == 1
+
+    def test_cow_of_contiguous_segment(self):
+        """COW sharing demotes the source's superpage eligibility is NOT
+        required — translations stay per the share; first write breaks
+        normally."""
+        from repro.os.cow import CopyOnWriteManager
+
+        kernel = Kernel("plb", system_options={"tlb_levels": (4, 0)})
+        machine = Machine(kernel)
+        cow = CopyOnWriteManager(kernel)
+        domain = kernel.create_domain("d")
+        source = kernel.create_segment("src", 16, contiguous=True)
+        cow.attach(domain, source, Rights.RW)
+        copy = cow.create_copy(source, "snap")
+        machine.write(domain, kernel.params.vaddr(source.base_vpn))
+        assert kernel.translations.pfn_for(source.base_vpn) != \
+            kernel.translations.pfn_for(copy.base_vpn)
+        # Regression: breaking a page of a contiguous segment must
+        # demote its superpage translation — a refilled TLB entry must
+        # resolve the broken page to its NEW frame, not the shared one.
+        machine.read(domain, kernel.params.vaddr(source.base_vpn))
+        entry = kernel.system.tlb.lookup(source.base_vpn)
+        assert entry is not None
+        assert entry.pfn_for(source.base_vpn) == \
+            kernel.translations.pfn_for(source.base_vpn)
+        assert segment_demoted(kernel, source)
+
+
+def segment_demoted(kernel, segment) -> bool:
+    return segment.seg_id not in kernel._contiguous

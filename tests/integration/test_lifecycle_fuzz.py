@@ -1,0 +1,63 @@
+"""Lifecycle fuzzing: random create/attach/touch/destroy sequences.
+
+Segment lifecycles interleaved across domains must conserve physical
+memory exactly and never leave a destroyed segment reachable.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rights import Rights
+from repro.os.kernel import Kernel, SegmentationViolation
+from repro.sim.machine import Machine
+
+N_FRAMES = 256
+
+lifecycle_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.integers(1, 6)),
+        st.tuples(st.just("attach"), st.integers(0, 9)),
+        st.tuples(st.just("touch"), st.integers(0, 9)),
+        st.tuples(st.just("destroy"), st.integers(0, 9)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestLifecycleFuzz:
+    @settings(max_examples=30, deadline=None)
+    @pytest.mark.parametrize("model", ["plb", "pagegroup", "conventional"])
+    @given(ops=lifecycle_ops)
+    def test_memory_conserved_and_dead_segments_unreachable(self, model, ops):
+        kernel = Kernel(model, n_frames=N_FRAMES)
+        machine = Machine(kernel)
+        domain = kernel.create_domain("d")
+        live: list = []
+        dead: list = []
+        for op, arg in ops:
+            if op == "create":
+                if kernel.memory.free_frames >= arg:
+                    live.append(kernel.create_segment(f"s{len(live)}", arg))
+            elif op == "attach" and live:
+                segment = live[arg % len(live)]
+                if not domain.is_attached(segment.seg_id):
+                    kernel.attach(domain, segment, Rights.RW)
+            elif op == "touch" and live:
+                segment = live[arg % len(live)]
+                if domain.is_attached(segment.seg_id):
+                    machine.write(domain, kernel.params.vaddr(segment.base_vpn))
+            elif op == "destroy" and live:
+                segment = live.pop(arg % len(live))
+                kernel.destroy_segment(segment)
+                dead.append(segment)
+        # Conservation: live segments account for exactly the used frames.
+        live_pages = sum(segment.n_pages for segment in live)
+        assert kernel.memory.used_frames == live_pages
+        assert kernel.memory.free_frames == N_FRAMES - live_pages
+        # Dead segments are unreachable even where still "attached".
+        for segment in dead[-3:]:
+            with pytest.raises(SegmentationViolation):
+                machine.read(domain, kernel.params.vaddr(segment.base_vpn))

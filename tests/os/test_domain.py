@@ -1,0 +1,64 @@
+"""Unit tests for the protection-domain record."""
+
+from __future__ import annotations
+
+from repro.core.rights import Rights
+from repro.os.domain import ProtectionDomain
+
+
+def make(pd_id=1) -> ProtectionDomain:
+    return ProtectionDomain(pd_id=pd_id, name=f"d{pd_id}")
+
+
+class TestAttachments:
+    def test_fresh_domain_has_nothing(self):
+        domain = make()
+        assert not domain.is_attached(1)
+        assert not domain.holds_group(1)
+        assert not domain.page_overrides
+
+    def test_attachment_bookkeeping(self):
+        domain = make()
+        domain.attachments[3] = Rights.RW
+        assert domain.is_attached(3)
+        assert not domain.is_attached(4)
+
+
+class TestGroups:
+    def test_grant_and_revoke(self):
+        domain = make()
+        entry = domain.grant_group(7)
+        assert domain.holds_group(7)
+        assert not entry.write_disable
+        assert domain.revoke_group(7)
+        assert not domain.holds_group(7)
+        assert not domain.revoke_group(7)
+
+    def test_grant_with_write_disable(self):
+        domain = make()
+        entry = domain.grant_group(7, write_disable=True)
+        assert entry.write_disable
+        assert domain.groups[7].write_disable
+
+    def test_regrant_replaces_entry(self):
+        domain = make()
+        domain.grant_group(7, write_disable=True)
+        domain.grant_group(7, write_disable=False)
+        assert not domain.groups[7].write_disable
+        assert len(domain.groups) == 1
+
+
+class TestOverrides:
+    def test_clear_overrides_in_range(self):
+        domain = make()
+        for vpn in range(10):
+            domain.page_overrides[vpn] = Rights.READ
+        cleared = domain.clear_overrides_in(3, 7)
+        assert cleared == 4
+        assert set(domain.page_overrides) == {0, 1, 2, 7, 8, 9}
+
+    def test_clear_empty_range(self):
+        domain = make()
+        domain.page_overrides[5] = Rights.RW
+        assert domain.clear_overrides_in(10, 20) == 0
+        assert 5 in domain.page_overrides

@@ -1,0 +1,136 @@
+"""Tests for the user-level paging server (Section 4.1.3 / Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rights import Rights
+from repro.os.kernel import Kernel
+from repro.os.pager import UserLevelPager
+from repro.sim.machine import Machine
+
+
+def paged_setup(model: str, *, compress=False, pages=4):
+    kernel = Kernel(model)
+    pager = UserLevelPager(kernel, compress=compress)
+    domain = kernel.create_domain("app")
+    segment = kernel.create_segment("data", pages)
+    kernel.attach(domain, segment, Rights.RW)
+    return kernel, pager, domain, segment
+
+
+class TestPageOutIn:
+    @pytest.mark.parametrize("model", ["plb", "pagegroup", "conventional"])
+    def test_roundtrip_preserves_data(self, model):
+        kernel, pager, domain, segment = paged_setup(model)
+        vpn = segment.base_vpn
+        pfn = kernel.translations.pfn_for(vpn)
+        kernel.memory.write_page(pfn, b"important" + bytes(100))
+        pager.page_out(vpn)
+        assert not kernel.translations.is_resident(vpn)
+        assert vpn in pager.evicted_pages
+        pager.page_in(vpn)
+        new_pfn = kernel.translations.pfn_for(vpn)
+        assert kernel.memory.read_page(new_pfn).startswith(b"important")
+
+    @pytest.mark.parametrize("model", ["plb", "pagegroup", "conventional"])
+    def test_access_after_pageout_demand_pages_in(self, model):
+        kernel, pager, domain, segment = paged_setup(model)
+        machine = Machine(kernel)
+        vaddr = kernel.params.vaddr(segment.base_vpn)
+        machine.write(domain, vaddr)
+        pager.page_out(segment.base_vpn)
+        result = machine.read(domain, vaddr)
+        assert result.faulted
+        assert kernel.translations.is_resident(segment.base_vpn)
+        assert segment.base_vpn not in pager.evicted_pages
+
+    @pytest.mark.parametrize("model", ["plb", "pagegroup", "conventional"])
+    def test_rights_restored_after_page_in(self, model):
+        kernel, pager, domain, segment = paged_setup(model)
+        machine = Machine(kernel)
+        vaddr = kernel.params.vaddr(segment.base_vpn)
+        machine.write(domain, vaddr)
+        pager.page_out(segment.base_vpn)
+        machine.write(domain, vaddr)  # faults, pages in, retries
+        machine.write(domain, vaddr)  # and stays writable
+
+    def test_page_out_frees_frame(self):
+        kernel, pager, domain, segment = paged_setup("plb")
+        free_before = kernel.memory.free_frames
+        pager.page_out(segment.base_vpn)
+        assert kernel.memory.free_frames == free_before + 1
+
+    def test_double_page_out_rejected(self):
+        kernel, pager, _, segment = paged_setup("plb")
+        pager.page_out(segment.base_vpn)
+        with pytest.raises(ValueError):
+            pager.page_out(segment.base_vpn)
+
+    def test_page_in_of_resident_page_rejected(self):
+        kernel, pager, _, segment = paged_setup("plb")
+        with pytest.raises(ValueError):
+            pager.page_in(segment.base_vpn)
+
+    def test_page_out_nonresident_rejected(self):
+        kernel, pager, _, segment = paged_setup("plb")
+        pager.page_out(segment.base_vpn)
+        with pytest.raises(ValueError):
+            pager.page_out(segment.base_vpn)
+
+
+class TestCompression:
+    def test_compressed_roundtrip(self):
+        kernel, pager, domain, segment = paged_setup("plb", compress=True)
+        vpn = segment.base_vpn
+        pfn = kernel.translations.pfn_for(vpn)
+        data = b"abc" * 1000 + bytes(1000)
+        kernel.memory.write_page(pfn, data)
+        pager.page_out(vpn)
+        assert kernel.stats["compress.page_out"] == 1
+        pager.page_in(vpn)
+        assert kernel.memory.read_page(kernel.translations.pfn_for(vpn)) == data
+        assert kernel.stats["compress.page_in"] == 1
+
+    def test_compression_saves_disk_bytes(self):
+        kernel, pager, _, segment = paged_setup("plb", compress=True)
+        pager.page_out(segment.base_vpn)
+        assert kernel.stats["disk.bytes_written"] < kernel.params.page_size
+
+
+class TestModelSpecificProtocol:
+    def test_pagegroup_moves_page_to_server_group(self):
+        kernel, pager, domain, segment = paged_setup("pagegroup")
+        vpn = segment.base_vpn
+        pager.page_out(vpn)
+        assert kernel.group_table.aid_of(vpn) == pager.server_group
+        pager.page_in(vpn)
+        assert kernel.group_table.aid_of(vpn) == segment.aid
+
+    def test_plb_revokes_all_domains_during_operation(self):
+        kernel, pager, domain, segment = paged_setup("plb")
+        other = kernel.create_domain("other")
+        kernel.attach(other, segment, Rights.READ)
+        vpn = segment.base_vpn
+        pager.page_out(vpn)
+        assert domain.page_overrides[vpn] == Rights.NONE
+        assert other.page_overrides[vpn] == Rights.NONE
+        pager.page_in(vpn)
+        # Overrides restored (none existed before the page-out).
+        assert vpn not in domain.page_overrides
+        assert vpn not in other.page_overrides
+
+    def test_plb_preserves_preexisting_overrides(self):
+        kernel, pager, domain, segment = paged_setup("plb")
+        vpn = segment.base_vpn
+        kernel.set_page_rights(domain, vpn, Rights.READ)
+        pager.page_out(vpn)
+        pager.page_in(vpn)
+        assert domain.page_overrides[vpn] == Rights.READ
+
+    def test_pager_counters(self):
+        kernel, pager, _, segment = paged_setup("plb")
+        pager.page_out(segment.base_vpn)
+        pager.page_in(segment.base_vpn)
+        assert kernel.stats["pager.page_out"] == 1
+        assert kernel.stats["pager.page_in"] == 1

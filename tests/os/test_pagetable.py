@@ -1,0 +1,102 @@
+"""Unit tests for the kernel's global translation and group tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rights import Rights
+from repro.os.pagetable import GlobalTranslationTable, GroupTable
+
+
+class TestGlobalTranslationTable:
+    def test_map_and_lookup(self):
+        table = GlobalTranslationTable()
+        table.map(5, 42)
+        assert table.pfn_for(5) == 42
+        assert table.is_resident(5)
+
+    def test_single_translation_per_page(self):
+        """The SASOS invariant: remapping replaces, never aliases."""
+        table = GlobalTranslationTable()
+        table.map(5, 42)
+        table.map(5, 43)
+        assert table.pfn_for(5) == 43
+        assert len(table) == 1
+
+    def test_unmap_returns_frame(self):
+        table = GlobalTranslationTable()
+        table.map(5, 42)
+        assert table.unmap(5) == 42
+        assert not table.is_resident(5)
+        assert table.is_known(5)  # state survives unmap
+
+    def test_unmap_missing_returns_none(self):
+        table = GlobalTranslationTable()
+        assert table.unmap(5) is None
+
+    def test_on_disk_flag(self):
+        table = GlobalTranslationTable()
+        table.map(5, 42)
+        table.unmap(5)
+        table.mark_on_disk(5)
+        mapping = table.mapping(5)
+        assert mapping is not None and mapping.on_disk
+        table.mark_on_disk(5, False)
+        assert not table.mapping(5).on_disk
+
+    def test_forget(self):
+        table = GlobalTranslationTable()
+        table.map(5, 42)
+        table.forget(5)
+        assert not table.is_known(5)
+
+    def test_resident_vpns(self):
+        table = GlobalTranslationTable()
+        table.map(1, 10)
+        table.map(2, 11)
+        table.unmap(2)
+        assert table.resident_vpns() == [1]
+
+
+class TestGroupTable:
+    def test_assign_and_query(self):
+        table = GroupTable()
+        table.assign(5, aid=7, rights=Rights.RW)
+        assert table.aid_of(5) == 7
+        assert table.rights_of(5) == Rights.RW
+
+    def test_each_page_in_exactly_one_group(self):
+        """Moving a page changes its single group membership."""
+        table = GroupTable()
+        table.assign(5, aid=7, rights=Rights.RW)
+        old = table.move(5, aid=9)
+        assert old == 7
+        assert table.aid_of(5) == 9
+        assert table.pages_in_group(7) == []
+        assert table.pages_in_group(9) == [5]
+
+    def test_move_unassigned_raises(self):
+        with pytest.raises(KeyError):
+            GroupTable().move(5, aid=9)
+
+    def test_set_rights_requires_assignment(self):
+        table = GroupTable()
+        with pytest.raises(KeyError):
+            table.set_rights(5, Rights.READ)
+        table.assign(5, aid=1, rights=Rights.RW)
+        table.set_rights(5, Rights.READ)
+        assert table.rights_of(5) == Rights.READ
+
+    def test_forget(self):
+        table = GroupTable()
+        table.assign(5, aid=1, rights=Rights.RW)
+        table.forget(5)
+        assert table.aid_of(5) is None
+        assert table.rights_of(5) is None
+
+    def test_pages_in_group(self):
+        table = GroupTable()
+        for vpn in (1, 2, 3):
+            table.assign(vpn, aid=4, rights=Rights.READ)
+        table.assign(9, aid=5, rights=Rights.READ)
+        assert sorted(table.pages_in_group(4)) == [1, 2, 3]

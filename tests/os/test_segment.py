@@ -1,0 +1,121 @@
+"""Unit and property tests for virtual segments and the VA allocator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.os.segment import AddressSpaceAllocator, VirtualSegment
+
+
+def make_segment(base=0x100, pages=8, seg_id=1, aid=1) -> VirtualSegment:
+    return VirtualSegment(seg_id=seg_id, name="s", base_vpn=base, n_pages=pages, aid=aid)
+
+
+class TestVirtualSegment:
+    def test_bounds(self):
+        seg = make_segment(base=0x100, pages=8)
+        assert seg.end_vpn == 0x108
+        assert len(seg) == 8
+
+    def test_contains(self):
+        seg = make_segment(base=0x100, pages=8)
+        assert seg.contains(0x100)
+        assert seg.contains(0x107)
+        assert not seg.contains(0x108)
+        assert not seg.contains(0xFF)
+
+    def test_vpns_enumeration(self):
+        seg = make_segment(base=10, pages=3)
+        assert list(seg.vpns()) == [10, 11, 12]
+
+    def test_vpn_at_bounds_checked(self):
+        seg = make_segment(pages=4)
+        assert seg.vpn_at(0) == seg.base_vpn
+        assert seg.vpn_at(3) == seg.base_vpn + 3
+        with pytest.raises(IndexError):
+            seg.vpn_at(4)
+        with pytest.raises(IndexError):
+            seg.vpn_at(-1)
+
+
+class TestAllocator:
+    def test_allocations_are_disjoint(self):
+        alloc = AddressSpaceAllocator()
+        ranges = []
+        for pages in (5, 16, 3, 100):
+            base = alloc.allocate(pages)
+            ranges.append((base, base + pages))
+        for i, (lo1, hi1) in enumerate(ranges):
+            for lo2, hi2 in ranges[i + 1 :]:
+                assert hi1 <= lo2 or hi2 <= lo1
+
+    def test_power_of_two_alignment(self):
+        """Power-of-two segments occupy one naturally aligned superpage
+        (the §4.3 alignment requirement)."""
+        alloc = AddressSpaceAllocator()
+        alloc.allocate(3)  # misalign the frontier
+        base = alloc.allocate(16)
+        assert base % 16 == 0
+
+    def test_non_power_sizes_align_up(self):
+        alloc = AddressSpaceAllocator()
+        base = alloc.allocate(5)  # aligns to 8
+        assert base % 8 == 0
+
+    def test_addresses_never_reused(self):
+        alloc = AddressSpaceAllocator()
+        first = alloc.allocate(4)
+        second = alloc.allocate(4)
+        assert second >= first + 4
+
+    def test_rejects_zero_pages(self):
+        with pytest.raises(ValueError):
+            AddressSpaceAllocator().allocate(0)
+
+    def test_exhaustion(self):
+        alloc = AddressSpaceAllocator(first_vpn=0, limit_vpn=16)
+        alloc.allocate(16)
+        with pytest.raises(MemoryError):
+            alloc.allocate(1)
+
+    def test_reserve_specific_range(self):
+        alloc = AddressSpaceAllocator(first_vpn=0x100)
+        base = alloc.reserve(0x4000, 32)
+        assert base == 0x4000
+        # Subsequent allocation starts beyond the reservation.
+        assert alloc.allocate(4) >= 0x4020
+
+    def test_reserve_behind_frontier_rejected(self):
+        alloc = AddressSpaceAllocator(first_vpn=0x100)
+        alloc.allocate(16)
+        with pytest.raises(ValueError):
+            alloc.reserve(0x100, 4)
+
+    def test_reserve_beyond_limit_rejected(self):
+        alloc = AddressSpaceAllocator(first_vpn=0, limit_vpn=100)
+        with pytest.raises(MemoryError):
+            alloc.reserve(90, 20)
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=50)
+    @given(sizes=st.lists(st.integers(1, 64), min_size=1, max_size=30))
+    def test_all_allocations_disjoint_and_aligned(self, sizes):
+        alloc = AddressSpaceAllocator()
+        taken: list[tuple[int, int]] = []
+        for pages in sizes:
+            base = alloc.allocate(pages)
+            align = 1 << (pages - 1).bit_length()
+            assert base % align == 0
+            for lo, hi in taken:
+                assert base >= hi or base + pages <= lo
+            taken.append((base, base + pages))
+
+
+class TestAllocatorFrontier:
+    def test_allocated_through_advances(self):
+        alloc = AddressSpaceAllocator(first_vpn=0x100)
+        assert alloc.allocated_through == 0x100
+        base = alloc.allocate(4)
+        assert alloc.allocated_through == base + 4

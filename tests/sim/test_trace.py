@@ -1,0 +1,66 @@
+"""Tests for the trace format and serialization."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rights import AccessType
+from repro.sim.trace import Ref, Switch, read_trace, write_trace
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        ops = [
+            Ref(1, 0x1000, AccessType.READ),
+            Ref(2, 0xABC000, AccessType.WRITE),
+            Switch(3),
+            Ref(1, 0x5008, AccessType.EXECUTE),
+        ]
+        buffer = io.StringIO()
+        assert write_trace(ops, buffer) == 4
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == ops
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# a comment\n\nR 1 0x1000 r\n\nS 2\n"
+        ops = list(read_trace(io.StringIO(text)))
+        assert ops == [Ref(1, 0x1000, AccessType.READ), Switch(2)]
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(ValueError, match="bad trace line"):
+            list(read_trace(io.StringIO("Q 1 2 3\n")))
+
+    def test_bad_access_code_rejected(self):
+        with pytest.raises(ValueError):
+            list(read_trace(io.StringIO("R 1 0x0 z\n")))
+
+    def test_truncated_line_rejected(self):
+        with pytest.raises(ValueError):
+            list(read_trace(io.StringIO("R 1\n")))
+
+    def test_write_rejects_foreign_objects(self):
+        with pytest.raises(TypeError):
+            write_trace([object()], io.StringIO())  # type: ignore[list-item]
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    Ref,
+                    pd_id=st.integers(0, 99),
+                    vaddr=st.integers(0, (1 << 64) - 1),
+                    access=st.sampled_from(list(AccessType)),
+                ),
+                st.builds(Switch, pd_id=st.integers(0, 99)),
+            ),
+            max_size=40,
+        )
+    )
+    def test_any_trace_roundtrips(self, ops):
+        buffer = io.StringIO()
+        write_trace(ops, buffer)
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == ops

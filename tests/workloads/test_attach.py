@@ -1,0 +1,60 @@
+"""Tests for the attach/detach micro-workload (Table 1 rows 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rights import Rights
+from repro.os.kernel import Kernel
+from repro.workloads.attach import AttachConfig, AttachDetachWorkload
+
+SMALL = AttachConfig(segments=4, pages_per_segment=4, touches_per_segment=8)
+
+
+class TestWorkload:
+    @pytest.mark.parametrize("model", ["plb", "pagegroup", "conventional"])
+    def test_counts(self, model):
+        workload = AttachDetachWorkload(Kernel(model), SMALL)
+        report = workload.run()
+        assert report.attaches == SMALL.segments
+        assert report.detaches == SMALL.segments
+
+    def test_sharers_multiply_operations(self):
+        config = AttachConfig(segments=3, pages_per_segment=4, sharers=2)
+        workload = AttachDetachWorkload(Kernel("plb"), config)
+        report = workload.run()
+        assert report.attaches == 9
+        assert report.detaches == 9
+
+
+class TestPaperContrast:
+    """Table 1: detach is the PLB's bad case and the page-group's
+    trivial case."""
+
+    def test_plb_detach_inspects_entries(self):
+        report = AttachDetachWorkload(Kernel("plb"), SMALL).run()
+        assert report.stats["plb.sweep_inspected"] > 0
+
+    def test_pagegroup_detach_no_sweeps(self):
+        report = AttachDetachWorkload(Kernel("pagegroup"), SMALL).run()
+        assert report.stats.total("plb") == 0
+        assert report.stats["pgtlb.update"] == 0
+
+    def test_plb_attach_is_lazy(self):
+        """Attach manipulates no hardware on the PLB system."""
+        kernel = Kernel("plb")
+        workload = AttachDetachWorkload(kernel, SMALL)
+        before = kernel.stats.snapshot()
+        kernel.attach(workload.domain, workload.segments[0], Rights.RW)
+        delta = kernel.stats.delta(before)
+        assert delta.total("plb") == 0
+
+    def test_sharing_replicates_plb_but_not_tlb(self):
+        config = AttachConfig(
+            segments=2, pages_per_segment=4, touches_per_segment=8, sharers=2
+        )
+        kernel = Kernel("plb")
+        report = AttachDetachWorkload(kernel, config).run()
+        # 3 domains touched the same pages: PLB filled ~3x the pages,
+        # translation TLB only once per page.
+        assert report.stats["plb.fill"] >= 2 * report.stats["tlb.fill"]

@@ -1,0 +1,79 @@
+"""Tests for the compression paging workload (Table 1 rows 13-14)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.os.kernel import Kernel
+from repro.workloads.compression import CompressionConfig, CompressionPaging
+
+SMALL = CompressionConfig(
+    segment_pages=16, resident_budget=6, refs=400, seed=13
+)
+
+
+@pytest.fixture(params=["plb", "pagegroup", "conventional"])
+def paging(request):
+    return CompressionPaging(Kernel(request.param, n_frames=1024), SMALL)
+
+
+class TestMemoryPressure:
+    def test_budget_respected(self, paging):
+        paging.run()
+        resident = len(paging.kernel.translations.resident_vpns())
+        # The app segment can hold at most the budget (other segments
+        # and bookkeeping pages are separate).
+        app_resident = sum(
+            1 for vpn in paging.segment.vpns()
+            if paging.kernel.translations.is_resident(vpn)
+        )
+        assert app_resident <= SMALL.resident_budget
+
+    def test_paging_traffic_happens(self, paging):
+        report = paging.run()
+        assert report.page_outs > SMALL.segment_pages - SMALL.resident_budget
+        assert report.page_ins > 0
+
+    def test_compression_achieves_ratio(self, paging):
+        report = paging.run()
+        # Pages are 75% zeros: zlib should do far better than 2x.
+        assert report.compression_ratio > 2.0
+
+    def test_every_ref_eventually_succeeds(self, paging):
+        """No reference is lost to paging: the run completes."""
+        report = paging.run()
+        assert report.stats["refs"] >= SMALL.refs
+
+    def test_disk_traffic_is_compressed(self, paging):
+        report = paging.run()
+        raw = report.stats["compress.raw_bytes"]
+        written = report.stats["disk.bytes_written"]
+        assert written < raw
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ValueError):
+            CompressionPaging(
+                Kernel("plb"), CompressionConfig(resident_budget=1)
+            )
+
+
+class TestDataIntegrity:
+    def test_page_contents_survive_eviction_cycles(self):
+        paging = CompressionPaging(Kernel("plb", n_frames=1024), SMALL)
+        kernel = paging.kernel
+        vpn = paging.segment.base_vpn
+        marker = b"MARKER" + bytes(100)
+        kernel.memory.write_page(kernel.translations.pfn_for(vpn), marker)
+        paging.pager.page_out(vpn)
+        paging.pager.page_in(vpn)
+        data = kernel.memory.read_page(kernel.translations.pfn_for(vpn))
+        assert data.startswith(b"MARKER")
+
+    def test_same_paging_behaviour_across_models(self):
+        reports = {
+            model: CompressionPaging(Kernel(model, n_frames=1024), SMALL).run()
+            for model in ("plb", "pagegroup", "conventional")
+        }
+        outs = {r.page_outs for r in reports.values()}
+        ins = {r.page_ins for r in reports.values()}
+        assert len(outs) == 1 and len(ins) == 1

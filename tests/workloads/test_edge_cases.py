@@ -1,0 +1,106 @@
+"""Edge-case and configuration-boundary tests across the workloads."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.os.kernel import Kernel
+from repro.workloads.checkpoint import CheckpointConfig, ConcurrentCheckpoint
+from repro.workloads.compression import CompressionConfig, CompressionPaging
+from repro.workloads.gc import ConcurrentGC, GCConfig
+from repro.workloads.rpc import RPCConfig, RPCWorkload
+from repro.workloads.txn import TransactionalVM, TxnConfig
+
+
+class TestGCEdges:
+    def test_single_collection_minimal_heap(self):
+        config = GCConfig(heap_pages=2, collections=1, mutator_refs_per_cycle=40)
+        report = ConcurrentGC(Kernel("plb"), config).run()
+        assert report.collections == 1
+        assert 0 < report.pages_scanned <= 2
+
+    def test_zero_survivor_fraction(self):
+        config = GCConfig(heap_pages=4, collections=1,
+                          mutator_refs_per_cycle=60, survivor_fraction=0.0)
+        report = ConcurrentGC(Kernel("plb"), config).run()
+        assert report.pages_scanned > 0
+
+    def test_many_collections_accumulate(self):
+        config = GCConfig(heap_pages=4, collections=5, mutator_refs_per_cycle=50)
+        report = ConcurrentGC(Kernel("pagegroup"), config).run()
+        assert report.collections == 5
+
+
+class TestTxnEdges:
+    def test_single_transaction_no_concurrency(self):
+        config = TxnConfig(db_pages=8, transactions=1, touches_per_txn=6,
+                           concurrent=1)
+        report = TransactionalVM(Kernel("plb"), config).run()
+        assert report.commits == 1
+        assert report.conflicts_skipped == 0
+
+    def test_concurrency_capped_by_transactions(self):
+        config = TxnConfig(db_pages=8, transactions=3, touches_per_txn=4,
+                           concurrent=8)
+        report = TransactionalVM(Kernel("plb"), config).run()
+        assert report.commits == 3
+
+    def test_all_reads_never_conflict(self):
+        config = TxnConfig(db_pages=8, transactions=4, touches_per_txn=8,
+                           concurrent=2, write_fraction=0.0)
+        report = TransactionalVM(Kernel("plb"), config).run()
+        assert report.write_locks == 0
+        assert report.conflicts_skipped == 0
+
+    def test_all_writes_in_disjoint_regions(self):
+        config = TxnConfig(db_pages=8, transactions=4, touches_per_txn=8,
+                           concurrent=2, write_fraction=1.0)
+        report = TransactionalVM(Kernel("plb"), config).run()
+        assert report.read_locks == 0
+        assert report.commits == 4
+
+
+class TestCheckpointEdges:
+    def test_no_writes_everything_background(self):
+        config = CheckpointConfig(segment_pages=6, checkpoints=1,
+                                  refs_per_checkpoint=60, write_fraction=0.0)
+        report = ConcurrentCheckpoint(Kernel("plb"), config).run()
+        assert report.copy_on_write_faults == 0
+        assert report.pages_checkpointed == 6
+
+    def test_all_writes_mostly_cow(self):
+        config = CheckpointConfig(segment_pages=6, checkpoints=1,
+                                  refs_per_checkpoint=200, write_fraction=1.0,
+                                  background_pages_per_step=1)
+        report = ConcurrentCheckpoint(Kernel("plb"), config).run()
+        assert report.copy_on_write_faults > 0
+
+
+class TestCompressionEdges:
+    def test_budget_equals_segment_no_paging_after_warmup(self):
+        config = CompressionConfig(segment_pages=8, resident_budget=8, refs=100)
+        report = CompressionPaging(Kernel("plb", n_frames=512), config).run()
+        assert report.page_ins == 0
+
+    def test_tiny_budget_thrashes(self):
+        config = CompressionConfig(segment_pages=12, resident_budget=2,
+                                   refs=150, zipf_s=0.0)
+        report = CompressionPaging(Kernel("plb", n_frames=512), config).run()
+        # Spatial runs average ~4 refs/page, so nearly every page change
+        # misses the 2-page budget.
+        assert report.page_ins > 25
+
+
+class TestRPCEdges:
+    def test_zero_private_segments(self):
+        config = RPCConfig(calls=5, arg_pages=1, private_segments=0)
+        report = RPCWorkload(Kernel("pagegroup"), config).run()
+        assert report.calls == 5
+
+    def test_single_call(self):
+        config = RPCConfig(calls=1)
+        report = RPCWorkload(Kernel("plb"), config).run()
+        assert report.calls == 1
+        assert report.switches >= 2

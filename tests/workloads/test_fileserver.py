@@ -1,0 +1,66 @@
+"""Tests for the file-server macro-workload (§2.1's motivating scenario)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.os.kernel import Kernel
+from repro.workloads.fileserver import FileServer, FileServerConfig
+
+SMALL = FileServerConfig(
+    files=6, file_pages=2, clients=2, requests=20,
+    lines_per_request=8, active_files=3, seed=5,
+)
+
+
+class TestCopyMode:
+    @pytest.mark.parametrize("model", ["plb", "pagegroup", "conventional"])
+    def test_all_requests_served(self, model):
+        report = FileServer(Kernel(model), SMALL).run()
+        assert report.requests == SMALL.requests
+
+    def test_lru_file_churn(self):
+        report = FileServer(Kernel("plb"), SMALL).run()
+        # More distinct files than the active window: detaches happen.
+        assert report.attaches > SMALL.active_files
+        assert report.detaches == report.attaches - SMALL.active_files
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            FileServer(Kernel("plb"), dataclasses.replace(SMALL, mode="zero-copy"))
+
+
+class TestShareMode:
+    def make(self, model="plb"):
+        return FileServer(
+            Kernel(model), dataclasses.replace(SMALL, mode="share")
+        )
+
+    @pytest.mark.parametrize("model", ["plb", "pagegroup", "conventional"])
+    def test_all_requests_served(self, model):
+        report = self.make(model).run()
+        assert report.requests == SMALL.requests
+
+    def test_clients_attach_at_most_once_per_file(self):
+        server = self.make()
+        report = server.run()
+        assert report.client_attaches <= SMALL.files * SMALL.clients
+        assert report.client_attaches > 0
+
+    def test_share_mode_moves_less_data(self):
+        """Pass-by-reference touches roughly half the cache lines that
+        copying through the mailbox does (§2.1's argument)."""
+        copy_report = FileServer(Kernel("plb"), SMALL).run()
+        share_report = self.make().run()
+        copy_touches = copy_report.stats["refs"]
+        share_touches = share_report.stats["refs"]
+        assert share_touches < copy_touches * 0.75
+
+    def test_same_work_across_models(self):
+        counts = {
+            model: self.make(model).run().stats["refs"]
+            for model in ("plb", "pagegroup", "conventional")
+        }
+        assert len(set(counts.values())) == 1

@@ -1,0 +1,78 @@
+"""Tests for the concurrent GC workload (Table 1 rows 3-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.os.kernel import Kernel
+from repro.workloads.gc import ConcurrentGC, GCConfig
+
+SMALL = GCConfig(heap_pages=8, collections=2, mutator_refs_per_cycle=150, seed=9)
+
+
+@pytest.fixture(params=["plb", "pagegroup", "conventional"])
+def gc(request):
+    return ConcurrentGC(Kernel(request.param), SMALL)
+
+
+class TestProtocol:
+    def test_every_touched_page_gets_scanned_exactly_once(self, gc):
+        report = gc.run()
+        assert report.pages_scanned == report.scan_faults
+        assert 0 < report.pages_scanned <= SMALL.heap_pages * SMALL.collections
+
+    def test_collections_counted(self, gc):
+        assert gc.run().collections == SMALL.collections
+
+    def test_mutator_can_rewrite_scanned_pages(self, gc):
+        gc.run()
+        vpn = next(iter(gc._scanned))
+        gc.machine.write(gc.mutator, gc.kernel.params.vaddr(vpn))
+
+    def test_mutator_blocked_from_from_space(self, gc):
+        from repro.os.kernel import SegmentationViolation
+
+        gc.run()
+        assert gc.from_space is not None
+        with pytest.raises(SegmentationViolation):
+            gc.machine.read(gc.mutator, gc.kernel.params.vaddr(gc.from_space.base_vpn))
+
+    def test_collector_retains_from_space_access(self, gc):
+        gc.run()
+        assert gc.from_space is not None
+        gc.machine.read(gc.collector, gc.kernel.params.vaddr(gc.from_space.base_vpn))
+
+
+class TestModelSpecificCosts:
+    def test_plb_flip_sweeps_entries(self):
+        gc = ConcurrentGC(Kernel("plb"), SMALL)
+        report = gc.run()
+        # Flip marks from-space no-access via sweep (Table 1).
+        assert report.stats["plb.sweep_inspected"] > 0
+
+    def test_pagegroup_flip_moves_groups_not_entries(self):
+        gc = ConcurrentGC(Kernel("pagegroup"), SMALL)
+        report = gc.run()
+        # Scanning moves pages into the scanned group: one TLB update
+        # per scanned page, no sweeps.
+        assert report.stats["pgtlb.update"] >= report.pages_scanned
+        assert report.stats.total("plb") == 0
+
+    def test_same_scan_work_across_models(self):
+        """The GC protocol does identical work on all three models."""
+        results = {
+            model: ConcurrentGC(Kernel(model), SMALL).run()
+            for model in ("plb", "pagegroup", "conventional")
+        }
+        scanned = {r.pages_scanned for r in results.values()}
+        assert len(scanned) == 1
+
+
+class TestAddressSpaceHygiene:
+    def test_new_to_space_each_collection(self):
+        gc = ConcurrentGC(Kernel("plb"), SMALL)
+        bases = [gc.to_space.base_vpn]
+        for _ in range(SMALL.collections):
+            gc.flip()
+            bases.append(gc.to_space.base_vpn)
+        assert len(set(bases)) == len(bases)  # addresses never reused

@@ -1,0 +1,81 @@
+"""Tests for the RPC domain-switch workload (Section 4.1.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.os.kernel import Kernel
+from repro.workloads.rpc import RPCConfig, RPCWorkload
+
+SMALL = RPCConfig(calls=20, arg_pages=1, private_segments=3, private_pages=2)
+
+
+@pytest.fixture(params=["plb", "pagegroup", "conventional"])
+def rpc(request):
+    return RPCWorkload(Kernel(request.param), SMALL)
+
+
+class TestPingPong:
+    def test_two_switches_per_call_steady_state(self, rpc):
+        report = rpc.run()
+        # client->server and server->client per call (plus warmup).
+        assert report.switches >= 2 * SMALL.calls
+        assert report.switches <= 2 * SMALL.calls + 2
+
+    def test_shared_args_visible_both_sides(self, rpc):
+        rpc.call_once()  # no faults raised = both sides accessed args
+
+    def test_register_write_per_switch(self, rpc):
+        report = rpc.run()
+        assert report.stats["pdid.write"] == report.switches
+
+
+class TestModelSwitchCosts:
+    def test_plb_switch_is_register_only(self):
+        """§4.1.4: the PLB switch does not touch the PLB."""
+        rpc = RPCWorkload(Kernel("plb"), SMALL)
+        report = rpc.run()
+        assert report.stats["plb.purge"] == 0
+        assert report.stats["plb.purge_removed"] == 0
+        # Both domains' entries stay resident across switches, so the
+        # steady-state runs almost entirely on PLB hits.
+        assert report.stats["plb.hit"] > report.stats["plb.fill"] * 5
+
+    def test_pagegroup_switch_purges_and_reloads(self):
+        rpc = RPCWorkload(Kernel("pagegroup"), SMALL)
+        report = rpc.run()
+        # Every switch empties the group cache; the working set of
+        # groups (args + private segments) reloads afterwards.
+        assert report.stats["pgcache.purge"] >= report.switches
+        assert report.stats["group_reload"] >= report.switches
+
+    def test_pagegroup_eager_reload_trades_traps_for_loads(self):
+        lazy = RPCWorkload(Kernel("pagegroup"), SMALL).run()
+        eager = RPCWorkload(
+            Kernel("pagegroup", system_options={"eager_reload": True}), SMALL
+        ).run()
+        assert eager.stats["group_eager_load"] > 0
+        assert eager.stats["group_reload"] < lazy.stats["group_reload"]
+
+    def test_untagged_conventional_purges_everything(self):
+        tagged = RPCWorkload(Kernel("conventional"), SMALL).run()
+        untagged = RPCWorkload(
+            Kernel("conventional", system_options={"asid_tagged": False}), SMALL
+        ).run()
+        assert untagged.stats["asidtlb.purge_removed"] > 0
+        assert tagged.stats["asidtlb.purge_removed"] == 0
+        # The purge-on-switch system pays with TLB refills.
+        assert untagged.stats["asidtlb.fill"] > tagged.stats["asidtlb.fill"]
+
+    def test_plb_cheapest_switch_path(self):
+        """The paper's headline §4.1.4 comparison."""
+        costs = {}
+        for model in ("plb", "pagegroup"):
+            report = RPCWorkload(Kernel(model), SMALL).run()
+            costs[model] = (
+                report.stats["group_reload"]
+                + report.stats["pgcache.fill"]
+                + report.stats["plb.purge_removed"]
+            )
+        assert costs["plb"] == 0
+        assert costs["pagegroup"] > 0

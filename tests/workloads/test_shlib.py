@@ -1,0 +1,70 @@
+"""Tests for the shared-library workload (§2.1 code sharing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rights import AccessType
+from repro.os.kernel import Kernel, SegmentationViolation
+from repro.workloads.shlib import SharedLibraryConfig, SharedLibraryWorkload
+
+SMALL = SharedLibraryConfig(
+    libraries=3, library_pages=4, domains=3, data_pages=2,
+    rounds=3, fetches_per_round=12, data_touches_per_round=4, seed=8,
+)
+
+MODELS = ("plb", "pagegroup", "conventional")
+
+
+class TestExecution:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_all_fetches_complete(self, model):
+        report = SharedLibraryWorkload(Kernel(model), SMALL).run()
+        assert report.rounds == SMALL.rounds
+        assert report.fetches == SMALL.rounds * SMALL.domains * SMALL.fetches_per_round
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_library_text_not_writable(self, model):
+        workload = SharedLibraryWorkload(Kernel(model), SMALL)
+        domain = workload.domains[0]
+        library = workload.libraries[0]
+        vaddr = workload.kernel.params.vaddr(library.base_vpn)
+        workload.machine.touch(domain, vaddr, AccessType.EXECUTE)
+        with pytest.raises(SegmentationViolation):
+            workload.machine.write(domain, vaddr)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_private_data_isolated(self, model):
+        workload = SharedLibraryWorkload(Kernel(model), SMALL)
+        thief = workload.domains[0]
+        victim_data = workload.data[1]
+        with pytest.raises(SegmentationViolation):
+            workload.machine.read(
+                thief, workload.kernel.params.vaddr(victim_data.base_vpn)
+            )
+
+
+class TestSharingShape:
+    def test_sasos_translations_not_replicated(self):
+        """One translation per library page despite many executors."""
+        workload = SharedLibraryWorkload(
+            Kernel("plb", system_options={"tlb_entries": 4096}), SMALL
+        )
+        workload.run()
+        pages = SMALL.libraries * SMALL.library_pages
+        assert workload.library_translation_entries() <= pages
+
+    def test_conventional_translations_replicate(self):
+        workload = SharedLibraryWorkload(
+            Kernel("conventional", system_options={"tlb_entries": 4096}), SMALL
+        )
+        workload.run()
+        pages = SMALL.libraries * SMALL.library_pages
+        assert workload.library_translation_entries() > pages
+
+    def test_same_fetch_work_across_models(self):
+        counts = {
+            model: SharedLibraryWorkload(Kernel(model), SMALL).run().fetches
+            for model in MODELS
+        }
+        assert len(set(counts.values())) == 1

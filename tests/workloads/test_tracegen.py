@@ -1,0 +1,92 @@
+"""Tests for the synthetic trace generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.rights import AccessType
+from repro.os.segment import VirtualSegment
+from repro.workloads.tracegen import RefPattern, TraceGenerator
+
+
+def segment(pages=16, base=0x100) -> VirtualSegment:
+    return VirtualSegment(seg_id=1, name="s", base_vpn=base, n_pages=pages, aid=1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        seg = segment()
+        a = list(TraceGenerator(7).refs(1, seg, 200))
+        b = list(TraceGenerator(7).refs(1, seg, 200))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        seg = segment()
+        a = list(TraceGenerator(7).refs(1, seg, 200))
+        b = list(TraceGenerator(8).refs(1, seg, 200))
+        assert a != b
+
+
+class TestRefs:
+    def test_exact_count(self):
+        refs = list(TraceGenerator(1).refs(1, segment(), 137))
+        assert len(refs) == 137
+
+    def test_all_refs_inside_segment(self):
+        seg = segment(pages=8)
+        for ref in TraceGenerator(1).refs(2, seg, 500):
+            assert seg.contains(ref.vaddr >> 12)
+            assert ref.pd_id == 2
+
+    def test_write_fraction_respected(self):
+        pattern = RefPattern(write_fraction=0.5)
+        refs = list(TraceGenerator(1).refs(1, segment(), 2000, pattern))
+        writes = sum(1 for r in refs if r.access is AccessType.WRITE)
+        assert 0.4 < writes / len(refs) < 0.6
+
+    def test_zero_write_fraction(self):
+        pattern = RefPattern(write_fraction=0.0)
+        refs = list(TraceGenerator(1).refs(1, segment(), 300, pattern))
+        assert all(r.access is AccessType.READ for r in refs)
+
+    def test_zipf_skews_page_popularity(self):
+        gen = TraceGenerator(1)
+        pattern = RefPattern(zipf_s=1.2, spatial_runs=1)
+        refs = list(gen.refs(1, segment(pages=32), 3000, pattern))
+        counts = Counter(r.vaddr >> 12 for r in refs)
+        top = counts.most_common(1)[0][1]
+        assert top > 3000 / 32 * 2  # clearly hotter than uniform
+
+    def test_uniform_when_zipf_zero(self):
+        gen = TraceGenerator(1)
+        pattern = RefPattern(zipf_s=0.0, spatial_runs=1)
+        refs = list(gen.refs(1, segment(pages=8), 4000, pattern))
+        counts = Counter(r.vaddr >> 12 for r in refs)
+        assert min(counts.values()) > 4000 / 8 * 0.5
+
+
+class TestSweepAndPick:
+    def test_sequential_sweep_covers_every_line(self):
+        gen = TraceGenerator(1)
+        seg = segment(pages=2)
+        refs = list(gen.sequential_sweep(1, seg))
+        assert len(refs) == 2 * 4096 // 32
+        assert refs[0].vaddr == seg.base_vpn << 12
+        deltas = {b.vaddr - a.vaddr for a, b in zip(refs, refs[1:])}
+        assert deltas == {32}
+
+    def test_sweep_with_custom_stride(self):
+        gen = TraceGenerator(1)
+        refs = list(gen.sequential_sweep(1, segment(pages=1), stride=1024))
+        assert len(refs) == 4
+
+    def test_pick_pages_distinct_and_inside(self):
+        gen = TraceGenerator(1)
+        seg = segment(pages=10)
+        picked = gen.pick_pages(seg, 5)
+        assert len(picked) == len(set(picked)) == 5
+        assert all(seg.contains(vpn) for vpn in picked)
+
+    def test_pick_pages_clamps_to_segment(self):
+        gen = TraceGenerator(1)
+        assert len(gen.pick_pages(segment(pages=3), 10)) == 3

@@ -1,0 +1,140 @@
+"""Tests for the transactional VM workload (Table 1 rows 8-10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rights import Rights
+from repro.os.kernel import Kernel, SegmentationViolation
+from repro.workloads.txn import TransactionalVM, TxnConfig
+
+SMALL = TxnConfig(db_pages=16, transactions=6, touches_per_txn=12, concurrent=2, seed=4)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("model", ["plb", "pagegroup", "conventional"])
+    def test_all_transactions_commit(self, model):
+        txn = TransactionalVM(Kernel(model), SMALL)
+        report = txn.run()
+        assert report.commits == SMALL.transactions
+        assert report.read_locks + report.write_locks > 0
+
+    def test_lock_state_empty_after_run(self):
+        txn = TransactionalVM(Kernel("plb"), SMALL)
+        txn.run()
+        assert not txn._locks
+        assert not txn._active
+
+    def test_committed_domain_loses_access(self):
+        txn = TransactionalVM(Kernel("plb"), SMALL)
+        domain = txn.begin("t")
+        vaddr = txn.kernel.params.vaddr(txn.db.base_vpn)
+        txn.machine.write(domain, vaddr)  # faults, takes write lock
+        txn.commit(domain)
+        with pytest.raises(SegmentationViolation):
+            txn.machine.read(domain, vaddr)
+
+    def test_write_lock_excludes_readers(self):
+        txn = TransactionalVM(Kernel("plb"), SMALL)
+        writer = txn.begin("w")
+        reader = txn.begin("r")
+        vaddr = txn.kernel.params.vaddr(txn.db.base_vpn)
+        txn.machine.write(writer, vaddr)
+        from repro.workloads.txn import _Conflict
+
+        with pytest.raises(_Conflict):
+            txn.machine.read(reader, vaddr)
+        assert txn.report.conflicts_skipped == 1
+
+    def test_shared_read_locks_coexist(self):
+        txn = TransactionalVM(Kernel("plb"), SMALL)
+        r1 = txn.begin("r1")
+        r2 = txn.begin("r2")
+        vaddr = txn.kernel.params.vaddr(txn.db.base_vpn)
+        txn.machine.read(r1, vaddr)
+        txn.machine.read(r2, vaddr)
+        assert txn.report.read_locks == 2
+
+    def test_write_after_own_read_upgrades(self):
+        txn = TransactionalVM(Kernel("plb"), SMALL)
+        t = txn.begin("t")
+        vaddr = txn.kernel.params.vaddr(txn.db.base_vpn)
+        txn.machine.read(t, vaddr)
+        txn.machine.write(t, vaddr)
+        assert txn.report.write_locks == 1
+
+    def test_rejects_bad_strategy(self):
+        with pytest.raises(ValueError):
+            TransactionalVM(Kernel("pagegroup"), TxnConfig(lock_strategy="bogus"))
+
+
+class TestPLBLockCosts:
+    def test_lock_grant_is_plb_update_or_lazy(self):
+        """Table 1: lock = 'set the read bit in the PLB entry'."""
+        txn = TransactionalVM(Kernel("plb"), SMALL)
+        report = txn.run()
+        # Grants and commit-downgrades run through set_page_rights.
+        assert report.stats["kernel.syscall.set_page_rights"] > 0
+        assert report.stats.total("pgcache") == 0
+
+
+class TestPageGroupLockStrategies:
+    def test_domain_strategy_alternation(self):
+        """§4.1.2: a read-shared page alternates between domains'
+        private lock groups."""
+        config = TxnConfig(db_pages=16, transactions=6, touches_per_txn=12,
+                           concurrent=2, seed=4, lock_strategy="domain",
+                           write_fraction=0.1, zipf_s=1.5)
+        txn = TransactionalVM(Kernel("pagegroup"), config)
+        report = txn.run()
+        assert report.group_alternations > 0
+
+    def test_page_strategy_never_alternates(self):
+        config = TxnConfig(db_pages=16, transactions=6, touches_per_txn=12,
+                           concurrent=2, seed=4, lock_strategy="page",
+                           write_fraction=0.1, zipf_s=1.5)
+        txn = TransactionalVM(Kernel("pagegroup"), config)
+        report = txn.run()
+        assert report.group_alternations == 0
+
+    def test_page_strategy_pressures_group_cache(self):
+        """§4.1.2: per-page lock groups 'can fill the cache of active
+        page-groups if a domain holds many locks'."""
+        base = dict(db_pages=32, transactions=4, touches_per_txn=24,
+                    concurrent=1, seed=4, write_fraction=0.3)
+        small_cache = {"group_capacity": 4}
+        domain_txn = TransactionalVM(
+            Kernel("pagegroup", system_options=small_cache),
+            TxnConfig(lock_strategy="domain", **base),
+        )
+        page_txn = TransactionalVM(
+            Kernel("pagegroup", system_options=small_cache),
+            TxnConfig(lock_strategy="page", **base),
+        )
+        domain_report = domain_txn.run()
+        page_report = page_txn.run()
+        assert page_report.stats["group_reload"] > domain_report.stats["group_reload"]
+
+    def test_domain_strategy_commit_revokes_lock_group(self):
+        txn = TransactionalVM(Kernel("pagegroup"),
+                              TxnConfig(db_pages=8, lock_strategy="domain"))
+        t = txn.begin("t")
+        vaddr = txn.kernel.params.vaddr(txn.db.base_vpn)
+        txn.machine.write(t, vaddr)
+        lock_group = txn._domain_lock_group[t.pd_id]
+        txn.commit(t)
+        assert not t.holds_group(lock_group)
+        # The next transaction gets a fresh group.
+        t2 = txn.begin("t2")
+        txn.machine.write(t2, vaddr)
+        assert txn._domain_lock_group[t2.pd_id] != lock_group
+
+    def test_page_strategy_page_returns_to_db_group(self):
+        txn = TransactionalVM(Kernel("pagegroup"),
+                              TxnConfig(db_pages=8, lock_strategy="page"))
+        t = txn.begin("t")
+        vpn = txn.db.base_vpn
+        txn.machine.write(t, txn.kernel.params.vaddr(vpn))
+        assert txn.kernel.group_table.aid_of(vpn) != txn.db.aid
+        txn.commit(t)
+        assert txn.kernel.group_table.aid_of(vpn) == txn.db.aid
