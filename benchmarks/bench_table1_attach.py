@@ -56,6 +56,7 @@ def test_report_table1_attach(benchmark):
             per_detach,
             title="Per-detach structure cost (paper: PLB sweeps, page-group is O(1))",
         ),
+        reports=result.run_reports,
     )
     plb = result.stats_by_model["plb"]
     pagegroup = result.stats_by_model["pagegroup"]

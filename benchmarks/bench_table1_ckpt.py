@@ -65,6 +65,7 @@ def test_report_table1_ckpt(benchmark):
             rows,
             title="Restrict-access and checkpoint-page costs",
         ),
+        reports=result.run_reports,
     )
     disk = {s["disk.write"] for s in result.stats_by_model.values()}
     assert len(disk) == 1  # identical checkpoint work across models

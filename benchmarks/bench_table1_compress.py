@@ -66,6 +66,7 @@ def test_report_table1_compress(benchmark):
             rows,
             title="Paging-operation costs (cache flush is per line, §4.1.3)",
         ),
+        reports=result.run_reports,
     )
     ratios = {s["compression_ratio"] for s in result.summary_by_model.values()}
     assert len(ratios) == 1

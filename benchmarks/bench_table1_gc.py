@@ -62,6 +62,7 @@ def test_report_table1_gc(benchmark):
             rows,
             title="Per-flip and per-scan costs",
         ),
+        reports=result.run_reports,
     )
     summaries = list(result.summary_by_model.values())
     assert summaries[0]["pages_scanned"] == summaries[1]["pages_scanned"]

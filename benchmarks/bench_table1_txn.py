@@ -91,6 +91,7 @@ def test_report_table1_txn(benchmark):
             rows,
             title="Lock representation costs (§4.1.2's two strategies)",
         ),
+        reports=domain_result.run_reports + page_result.run_reports,
     )
     # Direction check: the page-per-group strategy avoids alternation...
     assert page_result.summary_by_model["pagegroup"]["group_alternations"] == 0

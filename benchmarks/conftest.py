@@ -1,6 +1,12 @@
-"""Benchmark-suite plumbing: print registered reports after the run."""
+"""Benchmark-suite plumbing: print registered reports after the run.
+
+Set ``REPRO_BENCH_REPORT=<path>`` to also dump the structured RunReport
+JSON (consumed by ``tools/check_bench_regression.py``).
+"""
 
 from __future__ import annotations
+
+import os
 
 from repro.analysis import benchout
 
@@ -18,3 +24,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         terminalreporter.write_line(f"--- {title} ---")
         for line in text.splitlines():
             terminalreporter.write_line(line)
+    out = os.environ.get("REPRO_BENCH_REPORT")
+    if out:
+        count = benchout.write_run_reports(out)
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"wrote {count} structured run reports -> {out}")

@@ -70,6 +70,19 @@ QUICK_RUNS: list[tuple[str, Callable[..., Table1Result]]] = [
 ]
 
 
+def hot_counter_lines(stats_by_model, n: int = 6) -> list[str]:
+    """Lead-in lines naming each model's hottest counters.
+
+    Workload dumps print these ahead of the full table so the reader
+    sees where the events actually went before the alphabetical wall.
+    """
+    lines = [f"hot counters (top {n} per model):"]
+    for model, stats in stats_by_model.items():
+        ranked = ", ".join(f"{name}={count}" for name, count in stats.top(n))
+        lines.append(f"  {model}: {ranked or '(no events)'}")
+    return lines
+
+
 @dataclass
 class SummaryRow:
     workload: str

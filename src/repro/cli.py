@@ -8,6 +8,11 @@
 * ``entry-sizes`` — the §3.2.1/§4 bit-cost tables.
 * ``workload <name>`` — run one application class on one model and dump
   its stats (names: attach, gc, dsm, txn, checkpoint, compression, rpc).
+* ``trace <name>`` — run one application class on one model with the
+  span tracer on and export the trace (Chrome ``trace_event`` by
+  default; also JSONL and RunReport JSON).
+* ``profile <name>`` — run traced and print the top-N hotspot table
+  (spans ranked by attributed weighted cycles).
 * ``replay <trace-file>`` — replay a saved reference trace on a model.
 """
 
@@ -19,7 +24,7 @@ from typing import Sequence
 
 from repro.analysis.figures import render_figure1, render_figure2
 from repro.analysis.report import format_table
-from repro.analysis.summary import render_summary, run_summary
+from repro.analysis.summary import hot_counter_lines, render_summary, run_summary
 from repro.analysis.table1 import (
     full_table1,
     run_attach_detach,
@@ -56,6 +61,37 @@ WORKLOADS = {
     "fileserver": run_fileserver,
     "shlib": run_shlib,
 }
+
+
+class CLIError(Exception):
+    """A user-facing command error: printed to stderr, exit status 2."""
+
+
+def _workload_factories():
+    """Single-kernel builders for the traceable application classes.
+
+    DSM is excluded: it builds one kernel per cluster node, so it has no
+    single kernel a tracer could be attached to.
+    """
+    from repro.workloads.attach import AttachDetachWorkload
+    from repro.workloads.checkpoint import ConcurrentCheckpoint
+    from repro.workloads.compression import CompressionPaging
+    from repro.workloads.fileserver import FileServer
+    from repro.workloads.gc import ConcurrentGC
+    from repro.workloads.rpc import RPCWorkload
+    from repro.workloads.shlib import SharedLibraryWorkload
+    from repro.workloads.txn import TransactionalVM
+
+    return {
+        "attach": AttachDetachWorkload,
+        "gc": ConcurrentGC,
+        "txn": TransactionalVM,
+        "checkpoint": ConcurrentCheckpoint,
+        "compression": CompressionPaging,
+        "rpc": RPCWorkload,
+        "fileserver": FileServer,
+        "shlib": SharedLibraryWorkload,
+    }
 
 
 def _parse_models(text: str) -> tuple[str, ...]:
@@ -103,10 +139,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     workload = sub.add_parser("workload", help="run one application class")
-    workload.add_argument("name", choices=sorted(WORKLOADS) + ["dsm"])
+    workload.add_argument("name", help="one of: " + ", ".join(sorted(WORKLOADS) + ["dsm"]))
     workload.add_argument(
         "--models", type=_parse_models, default=MODELS,
         help="comma-separated subset of: " + ",".join(MODELS),
+    )
+
+    trace = sub.add_parser(
+        "trace", help="run one application class traced and export spans"
+    )
+    trace.add_argument("name", help="one of: " + ", ".join(sorted(WORKLOADS)))
+    trace.add_argument("--model", default="plb", help="one of: " + ", ".join(MODELS))
+    trace.add_argument("--out", required=True, help="output file path")
+    trace.add_argument(
+        "--format", choices=("chrome", "jsonl", "report"), default="chrome",
+        help="chrome trace_event JSON (default), span JSONL, or RunReport JSON",
+    )
+    trace.add_argument(
+        "--sample", type=int, default=1, metavar="N",
+        help="record 1-in-N of the sampled span sites (mem.access); "
+        "attribution stays exact — unsampled work folds into the parent",
+    )
+
+    profile = sub.add_parser(
+        "profile", help="run one application class traced and print hotspots"
+    )
+    profile.add_argument("name", help="one of: " + ", ".join(sorted(WORKLOADS)))
+    profile.add_argument("--model", default="plb", help="one of: " + ", ".join(MODELS))
+    profile.add_argument(
+        "--top", type=int, default=12, help="rows in the hotspot table"
     )
 
     replay = sub.add_parser("replay", help="replay a saved reference trace")
@@ -142,6 +203,11 @@ def cmd_entry_sizes() -> str:
 
 
 def cmd_workload(name: str, models: Sequence[str]) -> str:
+    if name != "dsm" and name not in WORKLOADS:
+        raise CLIError(
+            f"unknown workload {name!r}; choose from: "
+            + ", ".join(sorted(WORKLOADS) + ["dsm"])
+        )
     if name == "dsm":
         result = run_dsm(models=models)
     else:
@@ -150,13 +216,119 @@ def cmd_workload(name: str, models: Sequence[str]) -> str:
         [model] + [f"{key}={value}" for key, value in summary.items()]
         for model, summary in result.summary_by_model.items()
     ]
-    lines = [result.render()]
+    lines = hot_counter_lines(result.stats_by_model)
+    lines.append("")
+    lines.append(result.render())
     if summary_rows and summary_rows[0][1:]:
         lines.append("")
         lines.append("workload summary:")
         for row in summary_rows:
             lines.append("  " + "  ".join(str(cell) for cell in row))
     return "\n".join(lines)
+
+
+def _run_traced(name: str, model: str, *, sample_every: int = 1):
+    """Build a kernel + workload, run it under a tracer, return the pieces.
+
+    The root span wraps exactly the interval the returned delta covers,
+    so ``attributed_cycles(spans) == cycles_for(delta)`` (see
+    ARCHITECTURE.md §6).
+    """
+    from repro.obs.metrics import Metrics
+    from repro.obs.tracer import Tracer
+
+    factories = _workload_factories()
+    if name == "dsm":
+        raise CLIError(
+            "workload 'dsm' builds one kernel per cluster node and cannot "
+            "be traced; choose from: " + ", ".join(sorted(factories))
+        )
+    if name not in factories:
+        raise CLIError(
+            f"unknown workload {name!r}; choose from: "
+            + ", ".join(sorted(factories))
+        )
+    if model not in MODELS:
+        raise CLIError(
+            f"unknown model {model!r}; choose from: " + ", ".join(MODELS)
+        )
+    if sample_every < 1:
+        raise CLIError("--sample must be >= 1")
+    kernel = Kernel(model)
+    workload = factories[name](kernel)
+    metrics = Metrics(kernel.stats)
+    tracer = Tracer(kernel.stats, sample_every=sample_every, metrics=metrics)
+    kernel.attach_tracer(tracer)
+    before = kernel.stats.snapshot()
+    with tracer.span(f"run.{name}", model=model):
+        summary = workload.run()
+    spans = tracer.finish()
+    metrics.finish()
+    delta = kernel.stats.delta(before)
+    return kernel, summary, tracer, metrics, spans, delta
+
+
+def cmd_trace(name: str, model: str, out: str, fmt: str, sample: int) -> str:
+    from repro.obs.export import (
+        build_run_report,
+        spans_to_jsonl,
+        write_chrome_trace,
+    )
+
+    # Validate the output path before the (potentially long) run.
+    try:
+        with open(out, "w"):
+            pass
+    except OSError as error:
+        raise CLIError(f"cannot write --out {out}: {error}")
+    kernel, _, tracer, metrics, spans, delta = _run_traced(
+        name, model, sample_every=sample
+    )
+    n_spans = sum(1 for root in spans for _ in root.walk())
+    if fmt == "chrome":
+        write_chrome_trace(spans, out)
+    elif fmt == "jsonl":
+        with open(out, "w") as fp:
+            n_spans = spans_to_jsonl(spans, fp)
+    else:
+        report = build_run_report(
+            f"trace {name}", model, delta,
+            params=kernel.params, tracer=tracer, metrics=metrics,
+        )
+        report.write(out)
+    return (
+        f"traced {name} on {model}: {n_spans} spans "
+        f"({tracer.sampled_out} sampled out), "
+        f"{tracer.clock_cycles} weighted cycles -> {out} [{fmt}]"
+    )
+
+
+def cmd_profile(name: str, model: str, top: int) -> str:
+    from repro.obs.metrics import attributed_cycles, hotspots
+
+    _, _, tracer, _, spans, delta = _run_traced(name, model)
+    rows = hotspots(spans)
+    total = attributed_cycles(spans)
+    table_rows = [
+        [
+            row.name,
+            row.count,
+            row.exclusive_cycles,
+            row.inclusive_cycles,
+            f"{row.exclusive_cycles / total * 100:.1f}%" if total else "-",
+        ]
+        for row in rows[:top]
+    ]
+    table = format_table(
+        ["span", "count", "self cycles", "total cycles", "self %"],
+        table_rows,
+        title=f"Hotspots: {name} on {model} (top {len(table_rows)} of {len(rows)})",
+    )
+    return (
+        table
+        + f"\n\nattributed cycles (root spans): {total}"
+        + f"\nweighted cycles over run delta:  {cycles_for(delta)}"
+    )
 
 
 def cmd_replay(path: str, model: str, pages: int) -> str:
@@ -196,6 +368,14 @@ def cmd_replay(path: str, model: str, pages: int) -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except CLIError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figure1":
         print(render_figure1())
     elif args.command == "figure2":
@@ -220,6 +400,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_summary(run_summary(models=args.models)))
     elif args.command == "workload":
         print(cmd_workload(args.name, args.models))
+    elif args.command == "trace":
+        print(cmd_trace(args.name, args.model, args.out, args.format, args.sample))
+    elif args.command == "profile":
+        print(cmd_profile(args.name, args.model, args.top))
     elif args.command == "replay":
         print(cmd_replay(args.trace, args.model, args.pages))
     return 0

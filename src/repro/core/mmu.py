@@ -42,6 +42,7 @@ from repro.core.rights import AccessType, Rights
 from repro.hardware.cache import CacheOrg, DataCache
 from repro.hardware.registers import PDIDRegister
 from repro.hardware.tlb import AIDTaggedTLB, ASIDTaggedTLB, TranslationTLB
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.stats import Stats
 
 
@@ -199,6 +200,7 @@ class MemorySystem:
     ) -> None:
         self.params = params
         self.stats = stats if stats is not None else Stats()
+        self.tracer = NULL_TRACER
         self.pdid = PDIDRegister(stats=self.stats)
         self.dcache = DataCache(
             cache_bytes,
@@ -208,12 +210,44 @@ class MemorySystem:
             detect_hazards=detect_hazards,
             stats=self.stats,
         )
+        # Bind the reference path once: `access` is an instance attribute
+        # pointing straight at the model's `_access` implementation, so
+        # the untraced hot loop pays no tracing check at all (and skips
+        # the per-call bound-method creation besides).  attach_tracer
+        # swaps in the traced wrapper.
+        self.access = self._access
 
     @property
     def current_domain(self) -> int:
         return self.pdid.value
 
+    def attach_tracer(self, tracer) -> None:
+        """Route the reference path through ``tracer`` (or back off it).
+
+        With an active tracer every reference runs inside a sampled
+        ``mem.access`` span; with :data:`~repro.obs.tracer.NULL_TRACER`
+        the wrapper is removed entirely rather than checked per call.
+        """
+        self.tracer = tracer
+        if not tracer.active:
+            self.access = self._access
+            return
+        impl = self._access
+        open_span = tracer.span
+        model = self.model_name
+
+        def traced_access(vaddr: int, access: AccessType) -> AccessResult:
+            with open_span("mem.access", sample=True, model=model, vaddr=vaddr):
+                return impl(vaddr, access)
+
+        self.access = traced_access
+
     def access(self, vaddr: int, access: AccessType) -> AccessResult:
+        # Class-level fallback; __init__ shadows it with the bound
+        # implementation (or the traced wrapper).
+        return self._access(vaddr, access)
+
+    def _access(self, vaddr: int, access: AccessType) -> AccessResult:
         raise NotImplementedError
 
     def switch_domain(self, pd_id: int) -> None:
@@ -299,7 +333,7 @@ class PLBSystem(MemorySystem):
                 name="l2cache",
             )
 
-    def access(self, vaddr: int, access: AccessType) -> AccessResult:
+    def _access(self, vaddr: int, access: AccessType) -> AccessResult:
         self.stats.inc("refs")
         pd_id = self.current_domain
         vpn = self.params.vpn(vaddr)
@@ -418,7 +452,7 @@ class PageGroupSystem(MemorySystem):
         else:
             raise ValueError(f"unknown group holder {group_holder!r}")
 
-    def access(self, vaddr: int, access: AccessType) -> AccessResult:
+    def _access(self, vaddr: int, access: AccessType) -> AccessResult:
         self.stats.inc("refs")
         pd_id = self.current_domain
         vpn = self.params.vpn(vaddr)
@@ -518,7 +552,7 @@ class ConventionalSystem(MemorySystem):
         self.asid_tagged = asid_tagged
         self.tlb = ASIDTaggedTLB(tlb_entries, tlb_ways, stats=self.stats)
 
-    def access(self, vaddr: int, access: AccessType) -> AccessResult:
+    def _access(self, vaddr: int, access: AccessType) -> AccessResult:
         self.stats.inc("refs")
         pd_id = self.current_domain
         vpn = self.params.vpn(vaddr)

@@ -64,6 +64,11 @@ class CopyOnWriteManager:
         nothing is copied until somebody writes.
         """
         kernel = self.kernel
+        with kernel.tracer.span("cow.create_copy", seg=source.seg_id):
+            return self._create_copy(source, name)
+
+    def _create_copy(self, source: VirtualSegment, name: str) -> VirtualSegment:
+        kernel = self.kernel
         copy = kernel.create_segment(
             name, source.n_pages, group_rights=Rights.READ, populate=False
         )
@@ -149,6 +154,11 @@ class CopyOnWriteManager:
 
     def break_share(self, vpn: int) -> None:
         """Give ``vpn`` a private frame; the synonym for it disappears."""
+        kernel = self.kernel
+        with kernel.tracer.span("cow.break_share", vpn=vpn):
+            self._break_share(vpn)
+
+    def _break_share(self, vpn: int) -> None:
         kernel = self.kernel
         group = self._shares.pop(vpn)
         group.vpns.discard(vpn)

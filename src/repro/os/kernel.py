@@ -40,6 +40,7 @@ from repro.core.rights import Rights
 from repro.hardware.backing import BackingStore
 from repro.hardware.memory import PhysicalMemory
 from repro.hardware.registers import PIDEntry
+from repro.obs.tracer import NULL_TRACER
 from repro.os.domain import ProtectionDomain
 from repro.os.pagetable import GlobalTranslationTable, GroupTable
 from repro.os.segment import AddressSpaceAllocator, VirtualSegment
@@ -71,6 +72,9 @@ class Kernel:
             801-style inverted page table (§3.1) instead of the plain
             map — same semantics, adds hash-probe accounting.
         stats: Shared event sink; created when omitted.
+        tracer: Optional :class:`~repro.obs.tracer.Tracer` watching the
+            shared stats; kernel verbs, fault dispatch and (sampled)
+            references open spans on it.  Defaults to the no-op tracer.
     """
 
     def __init__(
@@ -82,12 +86,14 @@ class Kernel:
         system_options: dict | None = None,
         inverted_table: bool = False,
         stats: Stats | None = None,
+        tracer=None,
     ) -> None:
         if model not in MODELS:
             raise ValueError(f"unknown model {model!r}; expected one of {MODELS}")
         self.model = model
         self.params = params
         self.stats = stats if stats is not None else Stats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.memory = PhysicalMemory(n_frames, page_size=params.page_size, stats=self.stats)
         self.backing = BackingStore(stats=self.stats)
         if inverted_table:
@@ -124,6 +130,13 @@ class Kernel:
             "pagegroup": PageGroupOps,
             "conventional": ConventionalOps,
         }[model](self)
+        if self.tracer.active:
+            self.system.attach_tracer(self.tracer)
+
+    def attach_tracer(self, tracer) -> None:
+        """Start (or stop) tracing this kernel and its memory system."""
+        self.tracer = tracer
+        self.system.attach_tracer(tracer)
 
     def _build_system(self, model: str, options: dict) -> MemorySystem:
         if model == "plb":
@@ -348,25 +361,29 @@ class Kernel:
         self._trap("attach")
         if domain.is_attached(segment.seg_id):
             raise KernelError(f"{domain.name} already attached to {segment.name}")
-        self.ops.attach(domain, segment, rights)
+        with self.tracer.span("kernel.attach", pd=domain.pd_id, seg=segment.seg_id):
+            self.ops.attach(domain, segment, rights)
 
     def detach(self, domain: ProtectionDomain, segment: VirtualSegment) -> None:
         """Detach a segment, revoking the domain's access."""
         self._trap("detach")
         if not domain.is_attached(segment.seg_id):
             raise KernelError(f"{domain.name} is not attached to {segment.name}")
-        self.ops.detach(domain, segment)
+        with self.tracer.span("kernel.detach", pd=domain.pd_id, seg=segment.seg_id):
+            self.ops.detach(domain, segment)
 
     def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
         """Change one domain's rights on one page (others unaffected)."""
         self._trap("set_page_rights")
         self._require_attached(domain, vpn)
-        self.ops.set_page_rights(domain, vpn, rights)
+        with self.tracer.span("kernel.set_page_rights", pd=domain.pd_id, vpn=vpn):
+            self.ops.set_page_rights(domain, vpn, rights)
 
     def set_rights_all_domains(self, vpn: int, rights: Rights) -> None:
         """Change every attached domain's rights on one page."""
         self._trap("set_rights_all")
-        self.ops.set_rights_all(vpn, rights)
+        with self.tracer.span("kernel.set_rights_all", vpn=vpn):
+            self.ops.set_rights_all(vpn, rights)
 
     def set_segment_rights(
         self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
@@ -375,12 +392,16 @@ class Kernel:
         self._trap("set_segment_rights")
         if not domain.is_attached(segment.seg_id):
             raise KernelError(f"{domain.name} is not attached to {segment.name}")
-        self.ops.set_segment_rights(domain, segment, rights)
+        with self.tracer.span(
+            "kernel.set_segment_rights", pd=domain.pd_id, seg=segment.seg_id
+        ):
+            self.ops.set_segment_rights(domain, segment, rights)
 
     def switch_to(self, domain: ProtectionDomain) -> None:
         """Protection-domain switch (Section 4.1.4)."""
         self._trap("switch")
-        self.system.switch_domain(domain.pd_id)
+        with self.tracer.span("kernel.switch", pd=domain.pd_id):
+            self.system.switch_domain(domain.pd_id)
 
     def _require_attached(self, domain: ProtectionDomain, vpn: int) -> VirtualSegment:
         segment = self.segment_at(vpn)
@@ -473,19 +494,20 @@ class Kernel:
         pfn = self.translations.pfn_for(vpn)
         if pfn is None:
             raise KernelError(f"page {vpn:#x} is not resident")
-        segment = self.segment_at(vpn)
-        if segment is not None and segment.seg_id in self._contiguous:
-            # Breaking any page of a contiguous segment demotes the
-            # whole segment back to per-page translations.
-            del self._contiguous[segment.seg_id]
-        if flush_cache:
-            if self.system.dcache.org.virtually_tagged:
-                self.system.dcache.flush_page(vpn)
-            else:
-                self.system.dcache.flush_frame(pfn)
-        self.ops.invalidate_translation(vpn)
-        self.ops.on_unmap(vpn)
-        self.translations.unmap(vpn)
+        with self.tracer.span("kernel.unmap_page", vpn=vpn):
+            segment = self.segment_at(vpn)
+            if segment is not None and segment.seg_id in self._contiguous:
+                # Breaking any page of a contiguous segment demotes the
+                # whole segment back to per-page translations.
+                del self._contiguous[segment.seg_id]
+            if flush_cache:
+                if self.system.dcache.org.virtually_tagged:
+                    self.system.dcache.flush_page(vpn)
+                else:
+                    self.system.dcache.flush_frame(pfn)
+            self.ops.invalidate_translation(vpn)
+            self.ops.on_unmap(vpn)
+            self.translations.unmap(vpn)
         return pfn
 
     def free_page(self, vpn: int, *, flush_cache: bool = True) -> None:
@@ -513,28 +535,35 @@ class Kernel:
         self._trap("protection_fault")
         self.stats.inc("kernel.fault.protection")
         self.stats.inc(f"kernel.fault.protection.{fault.reason.value}")
-        for handler in reversed(self._protection_handlers):
-            if handler(fault):
-                return
+        with self.tracer.span(
+            "kernel.fault.protection",
+            pd=fault.pd_id,
+            vpn=self.params.vpn(fault.vaddr),
+            reason=fault.reason.value,
+        ):
+            for handler in reversed(self._protection_handlers):
+                if handler(fault):
+                    return
         raise SegmentationViolation(str(fault))
 
     def handle_page_fault(self, fault: PageFault) -> None:
         """Deliver a page fault: handlers first, then demand-zero fill."""
         self._trap("page_fault")
         self.stats.inc("kernel.fault.page")
-        for handler in reversed(self._page_fault_handlers):
-            if handler(fault):
-                return
         vpn = self.params.vpn(fault.vaddr)
-        mapping = self.translations.mapping(vpn)
-        if mapping is not None and mapping.on_disk:
-            raise SegmentationViolation(
-                f"page {vpn:#x} is on backing store but no pager is registered"
-            )
-        if self.segment_at(vpn) is None:
-            raise SegmentationViolation(str(fault))
-        # Demand-zero: the page belongs to a segment but has no frame.
-        self.populate_page(vpn)
+        with self.tracer.span("kernel.fault.page", pd=fault.pd_id, vpn=vpn):
+            for handler in reversed(self._page_fault_handlers):
+                if handler(fault):
+                    return
+            mapping = self.translations.mapping(vpn)
+            if mapping is not None and mapping.on_disk:
+                raise SegmentationViolation(
+                    f"page {vpn:#x} is on backing store but no pager is registered"
+                )
+            if self.segment_at(vpn) is None:
+                raise SegmentationViolation(str(fault))
+            # Demand-zero: the page belongs to a segment but has no frame.
+            self.populate_page(vpn)
 
     # ------------------------------------------------------------------ #
     # Introspection

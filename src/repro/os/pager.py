@@ -82,18 +82,19 @@ class UserLevelPager:
         pfn = kernel.translations.pfn_for(vpn)
         if pfn is None:
             raise ValueError(f"page {vpn:#x} is not resident")
-        state = _EvictedState()
-        self._grab_exclusive(vpn, state)
+        with kernel.tracer.span("pager.page_out", vpn=vpn, compress=self.compress):
+            state = _EvictedState()
+            self._grab_exclusive(vpn, state)
 
-        data = kernel.memory.read_page(pfn) or bytes(kernel.params.page_size)
-        if self.compress:
-            self.store.page_out(vpn, data)
-        else:
-            kernel.backing.write(vpn, data)
-        kernel.free_page(vpn)
-        kernel.translations.mark_on_disk(vpn, True)
-        self._evicted[vpn] = state
-        kernel.stats.inc("pager.page_out")
+            data = kernel.memory.read_page(pfn) or bytes(kernel.params.page_size)
+            if self.compress:
+                self.store.page_out(vpn, data)
+            else:
+                kernel.backing.write(vpn, data)
+            kernel.free_page(vpn)
+            kernel.translations.mark_on_disk(vpn, True)
+            self._evicted[vpn] = state
+            kernel.stats.inc("pager.page_out")
 
     def _grab_exclusive(self, vpn: int, state: _EvictedState) -> None:
         """Deny client access for the duration of the operation."""
@@ -121,16 +122,17 @@ class UserLevelPager:
         state = self._evicted.pop(vpn, None)
         if state is None:
             raise ValueError(f"page {vpn:#x} was not paged out by this server")
-        pfn = kernel.populate_page(vpn)
-        if self.compress:
-            data = self.store.page_in(vpn)
-        else:
-            data = kernel.backing.read(vpn)
-        kernel.memory.write_page(pfn, data)
-        kernel.backing.discard(vpn)
-        kernel.translations.mark_on_disk(vpn, False)
-        self._restore_access(vpn, state)
-        kernel.stats.inc("pager.page_in")
+        with kernel.tracer.span("pager.page_in", vpn=vpn, compress=self.compress):
+            pfn = kernel.populate_page(vpn)
+            if self.compress:
+                data = self.store.page_in(vpn)
+            else:
+                data = kernel.backing.read(vpn)
+            kernel.memory.write_page(pfn, data)
+            kernel.backing.discard(vpn)
+            kernel.translations.mark_on_disk(vpn, False)
+            self._restore_access(vpn, state)
+            kernel.stats.inc("pager.page_in")
 
     def _restore_access(self, vpn: int, state: _EvictedState) -> None:
         kernel = self.kernel

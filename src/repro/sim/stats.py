@@ -79,10 +79,51 @@ class Stats:
         return Stats(self._counts)
 
     def delta(self, since: "Stats") -> "Stats":
-        """Counters accumulated since the ``since`` snapshot was taken."""
+        """Counters accumulated since the ``since`` snapshot was taken.
+
+        Zero-valued deltas are dropped (the counter did not move), but
+        *negative* deltas are kept: a counter that went backwards means
+        someone called :meth:`clear` (or mutated a shared Stats object)
+        mid-measurement, and hiding that would silently corrupt every
+        report built on the delta.  Use :meth:`assert_monotonic` to turn
+        such a regression into a hard error.
+        """
         result = Counter(self._counts)
         result.subtract(since._counts)
-        return Stats({name: count for name, count in result.items() if count})
+        return Stats({name: count for name, count in result.items() if count != 0})
+
+    def assert_monotonic(self, since: "Stats") -> None:
+        """Raise ``ValueError`` if any counter decreased since ``since``.
+
+        Counters are event counts and must only grow; a decrease means a
+        snapshot was taken on one Stats object and compared against
+        another, or :meth:`clear` ran mid-measurement.  The tracer calls
+        this in debug mode at every span exit.
+        """
+        decreased = {
+            name: self._counts.get(name, 0) - count
+            for name, count in since._counts.items()
+            if self._counts.get(name, 0) < count
+        }
+        if decreased:
+            detail = ", ".join(
+                f"{name} ({amount:+d})" for name, amount in sorted(decreased.items())
+            )
+            raise ValueError(f"counters went backwards: {detail}")
+
+    def top(self, n: int, prefix: str = "") -> list[tuple[str, int]]:
+        """The ``n`` largest counters (optionally under ``prefix``).
+
+        Ties break alphabetically so output is deterministic.
+        """
+        dotted = prefix if not prefix or prefix.endswith(".") else prefix + "."
+        rows = [
+            (name, count)
+            for name, count in self._counts.items()
+            if not prefix or name == prefix.rstrip(".") or name.startswith(dotted)
+        ]
+        rows.sort(key=lambda item: (-item[1], item[0]))
+        return rows[:n]
 
     def merge(self, other: "Stats") -> None:
         """Fold another Stats object's counts into this one."""

@@ -83,6 +83,12 @@ class ConcurrentCheckpoint:
 
     def begin_checkpoint(self) -> None:
         """Make the whole segment read-only to the application."""
+        with self.kernel.tracer.span(
+            "ckpt.restrict_access", epoch=self.report.checkpoints + 1
+        ):
+            self._begin_checkpoint()
+
+    def _begin_checkpoint(self) -> None:
         kernel = self.kernel
         self._pending = set(self.segment.vpns())
         if kernel.model == "pagegroup":
@@ -109,6 +115,10 @@ class ConcurrentCheckpoint:
     # Checkpoint one page (Table 1 "Checkpoint Page")
 
     def _checkpoint_page(self, vpn: int) -> None:
+        with self.kernel.tracer.span("ckpt.checkpoint_page", vpn=vpn):
+            self._checkpoint_page_body(vpn)
+
+    def _checkpoint_page_body(self, vpn: int) -> None:
         kernel = self.kernel
         pfn = kernel.translations.pfn_for(vpn)
         data = (

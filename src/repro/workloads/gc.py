@@ -88,6 +88,10 @@ class ConcurrentGC:
 
     def flip(self) -> None:
         """Retire to-space as from-space and open a fresh to-space."""
+        with self.kernel.tracer.span("gc.flip", cycle=self._cycle + 1):
+            self._flip()
+
+    def _flip(self) -> None:
         kernel = self.kernel
         self._cycle += 1
         old_from = self.from_space
@@ -143,6 +147,10 @@ class ConcurrentGC:
 
     def _scan_page(self, vpn: int) -> None:
         """Garbage-collect one page, then open it to the application."""
+        with self.kernel.tracer.span("gc.scan_page", vpn=vpn):
+            self._scan_page_body(vpn)
+
+    def _scan_page_body(self, vpn: int) -> None:
         kernel = self.kernel
         params = kernel.params
         # The collector reads the faulted page and forwards live objects
@@ -176,8 +184,9 @@ class ConcurrentGC:
             self.config.mutator_refs_per_cycle,
             pattern,
         )
-        for ref in refs:
-            self.machine.touch(self.mutator, ref.vaddr, ref.access)
+        with self.kernel.tracer.span("gc.mutate", cycle=self._cycle):
+            for ref in refs:
+                self.machine.touch(self.mutator, ref.vaddr, ref.access)
 
     # ------------------------------------------------------------------ #
 

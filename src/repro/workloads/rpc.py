@@ -101,6 +101,10 @@ class RPCWorkload:
 
     def call_once(self) -> None:
         """One complete RPC: marshal, switch, serve, switch back."""
+        with self.kernel.tracer.span("rpc.call", call=self.report.calls + 1):
+            self._call_once()
+
+    def _call_once(self) -> None:
         params = self.kernel.params
         # Client marshals arguments into the shared segment.
         for vpn in self.args.vpns():

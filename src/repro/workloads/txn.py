@@ -147,6 +147,10 @@ class TransactionalVM:
         return True
 
     def _grant(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
+        with self.kernel.tracer.span("txn.lock_grant", pd=domain.pd_id, vpn=vpn):
+            self._grant_body(domain, vpn, rights)
+
+    def _grant_body(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
         kernel = self.kernel
         if kernel.model != "pagegroup":
             # "Set the read bit in the PLB entry for the transaction's
@@ -181,6 +185,10 @@ class TransactionalVM:
 
     def commit(self, domain: ProtectionDomain) -> None:
         """Unlock everything and return pages to the inaccessible state."""
+        with self.kernel.tracer.span("txn.commit", pd=domain.pd_id):
+            self._commit(domain)
+
+    def _commit(self, domain: ProtectionDomain) -> None:
         kernel = self.kernel
         locked = self._locked_by.pop(domain.pd_id, set())
         for vpn in locked:
@@ -243,16 +251,17 @@ class TransactionalVM:
             streams = [
                 self._touch_plan(slot, batch) for slot in range(batch)
             ]
-            for step in range(config.touches_per_txn):
-                for domain, stream in zip(domains, streams):
-                    vpn, access = stream[step]
-                    vaddr = self.kernel.params.vaddr(vpn)
-                    try:
-                        self.machine.touch(domain, vaddr, access)
-                    except _Conflict:
-                        pass
-            for domain in domains:
-                self.commit(domain)
+            with self.kernel.tracer.span("txn.batch", batch=batch_no, size=batch):
+                for step in range(config.touches_per_txn):
+                    for domain, stream in zip(domains, streams):
+                        vpn, access = stream[step]
+                        vaddr = self.kernel.params.vaddr(vpn)
+                        try:
+                            self.machine.touch(domain, vaddr, access)
+                        except _Conflict:
+                            pass
+                for domain in domains:
+                    self.commit(domain)
             completed += batch
             batch_no += 1
         self.report.stats = self.kernel.stats.delta(before)

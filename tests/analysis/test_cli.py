@@ -69,6 +69,82 @@ class TestCommands:
             assert marker in out
 
 
+class TestErrors:
+    def test_unknown_workload_exits_cleanly(self, capsys):
+        assert main(["workload", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload 'bogus'" in err
+        assert "gc" in err  # the message lists the valid names
+
+    def test_unknown_trace_workload(self, capsys):
+        assert main(["trace", "bogus", "--out", "/tmp/never.json"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_unknown_profile_model(self, capsys):
+        assert main(["profile", "gc", "--model", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown model 'bogus'" in err
+        assert "plb" in err
+
+    def test_dsm_cannot_be_traced(self, capsys):
+        assert main(["trace", "dsm", "--out", "/tmp/never.json"]) == 2
+        assert "dsm" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["trace", "gc", "--model", "plb", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert events and events[0]["name"] == "run.gc"
+        assert "traced gc on plb" in capsys.readouterr().out
+
+    def test_trace_jsonl_format(self, tmp_path):
+        import json
+
+        out = tmp_path / "spans.jsonl"
+        assert main(["trace", "rpc", "--model", "pagegroup", "--out", str(out),
+                     "--format", "jsonl", "--sample", "10"]) == 0
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines[0]["name"] == "run.rpc"
+        assert lines[0]["parent"] is None
+
+    def test_trace_report_format(self, tmp_path):
+        from repro.obs.export import load_run_report
+
+        out = tmp_path / "report.json"
+        assert main(["trace", "attach", "--model", "conventional",
+                     "--out", str(out), "--format", "report"]) == 0
+        report = load_run_report(str(out))
+        assert report.model == "conventional"
+        assert report.cycles_total == sum(report.cycles_breakdown.values())
+        assert report.spans
+
+
+class TestProfile:
+    def test_profile_attributed_total_matches_delta(self, capsys):
+        assert main(["profile", "txn", "--model", "pagegroup"]) == 0
+        out = capsys.readouterr().out
+        assert "Hotspots: txn on pagegroup" in out
+        # The two footer totals must agree exactly (the acceptance
+        # identity: root-span attribution == cycles_for over the delta).
+        attributed = [line for line in out.splitlines()
+                      if line.startswith("attributed cycles")]
+        weighted = [line for line in out.splitlines()
+                    if line.startswith("weighted cycles")]
+        assert attributed and weighted
+        assert attributed[0].split(":")[1].strip() == \
+            weighted[0].split(":")[1].strip()
+
+    def test_profile_top_limits_rows(self, capsys):
+        assert main(["profile", "gc", "--model", "plb", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "top 2 of" in out
+
+
 class TestReplay:
     def test_replay_roundtrip(self, tmp_path, capsys):
         trace = tmp_path / "t.trace"

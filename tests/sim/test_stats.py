@@ -105,6 +105,56 @@ class TestSnapshotDelta:
         assert "a" not in delta
         assert len(delta) == 0
 
+    def test_delta_keeps_negative_movement_visible(self):
+        """A counter that went backwards is a bug; delta must show it."""
+        stats = Stats()
+        stats.inc("a", 5)
+        before = stats.snapshot()
+        stats.inc("a", -2)
+        delta = stats.delta(before)
+        assert delta["a"] == -2
+        assert "a" in delta
+
+
+class TestMonotonicityGuard:
+    def test_passes_when_counters_only_grow(self):
+        stats = Stats()
+        stats.inc("a", 1)
+        before = stats.snapshot()
+        stats.inc("a", 3)
+        stats.inc("b", 1)
+        stats.assert_monotonic(before)  # no raise
+
+    def test_raises_naming_the_regressed_counter(self):
+        stats = Stats()
+        stats.inc("plb.hit", 5)
+        before = stats.snapshot()
+        stats.inc("plb.hit", -2)
+        with pytest.raises(ValueError, match=r"plb\.hit \(-2\)"):
+            stats.assert_monotonic(before)
+
+    def test_counter_returning_to_zero_counts_as_regression(self):
+        stats = Stats()
+        stats.inc("gone", 4)
+        before = stats.snapshot()
+        stats.inc("gone", -4)  # back to zero
+        with pytest.raises(ValueError, match="gone"):
+            stats.assert_monotonic(before)
+
+
+class TestTop:
+    def test_ranked_by_count_then_name(self):
+        stats = Stats({"b": 5, "a": 5, "c": 9, "d": 1})
+        assert stats.top(3) == [("c", 9), ("a", 5), ("b", 5)]
+
+    def test_prefix_filters_dotted_namespace(self):
+        stats = Stats({"plb.hit": 10, "plb.miss": 3, "plbx": 99, "tlb.hit": 7})
+        assert stats.top(5, prefix="plb") == [("plb.hit", 10), ("plb.miss", 3)]
+
+    def test_top_zero_and_empty(self):
+        assert Stats({"a": 1}).top(0) == []
+        assert Stats().top(5) == []
+
 
 class TestMergeAndExport:
     def test_merge_accumulates(self):

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Fail CI when any Table 1 cell's weighted cycles grow by >10%.
+
+Runs the quick configuration of every application class (the same
+``QUICK_RUNS`` the ``summary`` CLI command uses), extracts each model's
+``cycles_total`` from the structured RunReports, and diffs the resulting
+(workload, model) matrix against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_bench_regression.py            # check
+    PYTHONPATH=src python tools/check_bench_regression.py --update   # rebaseline
+
+The simulator is deterministic (seeded workloads, no wall-clock inputs),
+so the baseline is exact: any drift at all is a real behavior change,
+and growth beyond the threshold fails the build.  Improvements
+(shrinking cycles) never fail, but rebaseline so the guard keeps teeth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+BASELINE = REPO / "benchmarks" / "baselines" / "table1_cycles.json"
+THRESHOLD = 0.10
+
+
+def measure() -> dict[str, dict[str, int]]:
+    """Weighted cycles per (workload, model) from the quick runs."""
+    from repro.analysis.summary import QUICK_RUNS
+    from repro.os.kernel import MODELS
+
+    matrix: dict[str, dict[str, int]] = {}
+    for name, runner in QUICK_RUNS:
+        result = runner(tuple(MODELS))
+        matrix[name] = {
+            report.model: report.cycles_total for report in result.run_reports
+        }
+    return matrix
+
+
+def check(current: dict, baseline: dict) -> list[str]:
+    """Return one failure line per regressed or missing cell."""
+    failures = []
+    for workload, models in baseline.items():
+        for model, base_cycles in models.items():
+            now = current.get(workload, {}).get(model)
+            if now is None:
+                failures.append(
+                    f"{workload} / {model}: cell missing from current run"
+                )
+                continue
+            growth = (now - base_cycles) / base_cycles if base_cycles else 0.0
+            if growth > THRESHOLD:
+                failures.append(
+                    f"{workload} / {model}: {base_cycles} -> {now} cycles "
+                    f"(+{growth * 100:.1f}% > {THRESHOLD * 100:.0f}%)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the committed baseline from this run",
+    )
+    parser.add_argument("--baseline", default=str(BASELINE))
+    args = parser.parse_args(argv)
+    baseline_path = Path(args.baseline)
+
+    current = measure()
+    if args.update:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(baseline_path, "w") as fp:
+            json.dump({"threshold": THRESHOLD, "cycles": current}, fp,
+                      indent=1, sort_keys=True)
+            fp.write("\n")
+        print(f"baseline updated: {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run with --update first",
+              file=sys.stderr)
+        return 2
+    with open(baseline_path) as fp:
+        baseline = json.load(fp)["cycles"]
+
+    failures = check(current, baseline)
+    cells = sum(len(models) for models in baseline.values())
+    if failures:
+        print(f"bench regression: {len(failures)} of {cells} cells regressed:")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print(f"bench regression: all {cells} Table 1 cells within "
+          f"{THRESHOLD * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
