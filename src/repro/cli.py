@@ -14,6 +14,10 @@
 * ``profile <name>`` — run traced and print the top-N hotspot table
   (spans ranked by attributed weighted cycles).
 * ``replay <trace-file>`` — replay a saved reference trace on a model.
+* ``check <scenario>`` — differential protection oracle: replay a seeded
+  kernel-verb/reference stream through the selected models in lockstep
+  against the gold model and report any divergence (exit 1) with a
+  minimized repro dump.  Scenarios: fuzz, attach, rights, paging, switch.
 """
 
 from __future__ import annotations
@@ -176,6 +180,30 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--pages", type=int, default=64,
         help="pages in the segment created for the trace's addresses",
+    )
+
+    check = sub.add_parser(
+        "check", help="run the differential protection oracle"
+    )
+    check.add_argument(
+        "scenario",
+        help="fuzz scenario: fuzz, attach, rights, paging or switch",
+    )
+    check.add_argument(
+        "--models", type=_parse_models, default=MODELS,
+        help="comma-separated subset of: " + ",".join(MODELS),
+    )
+    check.add_argument(
+        "--seed", default="0",
+        help="single seed ('7') or inclusive range ('0..9')",
+    )
+    check.add_argument(
+        "--ops", type=int, default=250,
+        help="approximate operations per seed (default 250)",
+    )
+    check.add_argument(
+        "--invariant-every", type=int, default=16, metavar="N",
+        help="run structural invariant checks every N ops (0 disables)",
     )
     return parser
 
@@ -366,6 +394,64 @@ def cmd_replay(path: str, model: str, pages: int) -> str:
     )
 
 
+def _parse_seeds(text: str) -> list[int]:
+    try:
+        if ".." in text:
+            lo, hi = text.split("..", 1)
+            seeds = list(range(int(lo), int(hi) + 1))
+            if not seeds:
+                raise ValueError("empty range")
+            return seeds
+        return [int(text)]
+    except ValueError:
+        raise CLIError(
+            f"bad --seed {text!r}: expected an integer or 'LO..HI'"
+        )
+
+
+def cmd_check(
+    scenario: str,
+    models: Sequence[str],
+    seed_text: str,
+    n_ops: int,
+    invariant_every: int,
+) -> int:
+    import json
+
+    from repro.check import SCENARIOS, run_check
+
+    if scenario not in SCENARIOS:
+        raise CLIError(
+            f"unknown scenario {scenario!r}; choose from: "
+            + ", ".join(sorted(SCENARIOS))
+        )
+    seeds = _parse_seeds(seed_text)
+    failed = 0
+    for seed in seeds:
+        result = run_check(
+            scenario, seed, tuple(models),
+            n_ops=n_ops, invariant_every=invariant_every,
+        )
+        if result.ok:
+            print(
+                f"check {scenario} seed={seed}: OK "
+                f"({result.ops_total} ops, {result.refs_checked} refs, "
+                f"models={','.join(models)})"
+            )
+        else:
+            failed += 1
+            print(
+                f"check {scenario} seed={seed}: DIVERGED — "
+                + result.divergence.describe()
+            )
+            print("minimized repro dump:")
+            print(json.dumps(result.dump(), indent=2))
+    if failed:
+        print(f"{failed}/{len(seeds)} seeds diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -406,6 +492,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(cmd_profile(args.name, args.model, args.top))
     elif args.command == "replay":
         print(cmd_replay(args.trace, args.model, args.pages))
+    elif args.command == "check":
+        return cmd_check(
+            args.scenario, args.models, args.seed, args.ops,
+            args.invariant_every,
+        )
     return 0
 
 

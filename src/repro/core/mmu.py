@@ -176,6 +176,10 @@ class AccessResult:
     protection_refill: bool = False
     translation_refill: bool = False
     translated: bool = False
+    #: Physical address the reference resolved to, when the model ran
+    #: translation.  None on a VIVT hit in the PLB system, where the
+    #: whole point is that translation never happens (Section 3.2.1).
+    paddr: int | None = None
 
 
 # --------------------------------------------------------------------- #
@@ -375,20 +379,24 @@ class PLBSystem(MemorySystem):
 
         outcome = self.dcache.access(vaddr, translate, write=access.is_write, asid=pd_id)
         if self.l2 is not None:
+            if not outcome.hit:
+                # The missing line is fetched through the L2 first; the
+                # TLB at the L2 controller already resolved the address
+                # above.  The fetch must probe before the victim installs:
+                # a victim mapping to the same L2 set could otherwise
+                # evict the very line about to be fetched.
+                fetch_paddr = translate()
+                self.l2.access(fetch_paddr, lambda: fetch_paddr)
             if outcome.victim_paddr_line is not None:
                 # The L1's dirty victim lands in the L2 (write-allocate).
                 victim_paddr = outcome.victim_paddr_line << self.params.line_offset_bits
                 self.l2.access(victim_paddr, lambda: victim_paddr, write=True)
-            if not outcome.hit:
-                # The missing line is fetched through the L2; the TLB at
-                # the L2 controller already resolved the address above.
-                fetch_paddr = translate()
-                self.l2.access(fetch_paddr, lambda: fetch_paddr)
         return AccessResult(
             cache_hit=outcome.hit,
             protection_refill=protection_refill,
             translation_refill=refill,
             translated=outcome.translated,
+            paddr=resolved,
         )
 
     def switch_domain(self, pd_id: int) -> None:
@@ -495,6 +503,7 @@ class PageGroupSystem(MemorySystem):
             protection_refill=group_refill,
             translation_refill=refill,
             translated=outcome.translated,
+            paddr=paddr,
         )
 
     def _install_group(self, entry: PIDEntry) -> None:
@@ -581,6 +590,7 @@ class ConventionalSystem(MemorySystem):
             cache_hit=outcome.hit,
             translation_refill=refill,
             translated=outcome.translated,
+            paddr=paddr,
         )
 
     def switch_domain(self, pd_id: int) -> None:

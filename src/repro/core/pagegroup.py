@@ -79,6 +79,10 @@ class PageGroupCache:
     def resident_groups(self) -> list[int]:
         return [group for group, _ in self._cache.items()]
 
+    def resident_entries(self) -> list[PIDEntry]:
+        """The resident PID entries, for invariant checks (no stats)."""
+        return [entry for _, entry in self._cache.items()]
+
     def __contains__(self, group: int) -> bool:
         return group == GLOBAL_PAGE_GROUP or self._cache.peek(group) is not None
 

@@ -134,34 +134,41 @@ class ProtectionLookasideBuffer:
     # ------------------------------------------------------------------ #
     # Kernel maintenance operations (the Table 1 verbs)
 
-    def update_rights(self, pd_id: int, vaddr: int, rights: Rights) -> bool:
-        """Rewrite one resident entry's rights in place.
+    def update_rights(self, pd_id: int, vaddr: int, rights: Rights) -> int:
+        """Rewrite the resident entries covering ``vaddr`` in place.
 
         The cheap PLB operation Table 1 credits for per-domain permission
-        changes ("simply requires updating a PLB entry").  Returns False
-        when no entry is resident (nothing to do: the new rights will be
-        faulted in lazily).
+        changes ("simply requires updating a PLB entry").  With multiple
+        configured levels a domain can hold both a superpage and a page
+        entry for the same address; every one of them must change, or a
+        later lookup can hit the stale sibling and grant revoked rights.
+        Returns how many entries changed (0 when none was resident: the
+        new rights will be faulted in lazily).
         """
+        changed = 0
         for level in self.levels:
             key = PLBKey(pd_id, self.unit_for(vaddr, level), level)
             if self._store.update(key, PLBEntry(rights=rights)):
                 self.stats.inc(f"{self.name}.update")
-                return True
-        return False
+                changed += 1
+        return changed
 
-    def invalidate(self, pd_id: int, vaddr: int) -> bool:
-        """Remove one domain's entry covering ``vaddr`` (any level).
+    def invalidate(self, pd_id: int, vaddr: int) -> int:
+        """Remove the domain's entries covering ``vaddr`` at every level.
 
-        Returns True when an entry was resident.  Used for targeted
-        revocations (e.g. stealing a sub-page lock unit from another
-        domain) where a range sweep would overcharge.
+        Used for targeted revocations (e.g. stealing a sub-page lock unit
+        from another domain) where a range sweep would overcharge.  All
+        configured levels are swept — removing only the first hit would
+        leave a stale entry at another level that ``lookup`` still hits.
+        Returns how many entries were removed.
         """
+        removed = 0
         for level in self.levels:
             key = PLBKey(pd_id, self.unit_for(vaddr, level), level)
             if self._store.invalidate(key):
                 self.stats.inc(f"{self.name}.invalidate")
-                return True
-        return False
+                removed += 1
+        return removed
 
     def purge_domain_range(self, pd_id: int, vpn_lo: int, vpn_hi: int) -> tuple[int, int]:
         """Remove a domain's entries for pages in ``[vpn_lo, vpn_hi)``.

@@ -328,6 +328,16 @@ class DataCache:
     # ------------------------------------------------------------------ #
     # Introspection
 
+    def resident_lines(self):
+        """Yield every resident ``(key, CacheLine)`` pair.
+
+        For invariant checks: a virtually tagged line's key ends with the
+        virtual line number, a physically tagged one's with the physical
+        line number; ``line.paddr_line`` always names the backing frame.
+        """
+        for entry_set in self._sets:
+            yield from entry_set.items()
+
     def resident_copies(self, paddr_line: int) -> int:
         """How many cache locations currently hold this physical line."""
         return sum(

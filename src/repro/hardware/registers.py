@@ -134,5 +134,9 @@ class PIDRegisterFile:
     def resident_groups(self) -> list[int]:
         return [entry.group for entry in self._slots if entry is not None]
 
+    def resident_entries(self) -> list[PIDEntry]:
+        """The loaded PID entries, for invariant checks (no stats)."""
+        return [entry for entry in self._slots if entry is not None]
+
     def __contains__(self, group: int) -> bool:
         return self.find(group) is not None

@@ -152,6 +152,10 @@ class TranslationTLB:
         """Total pages covered by the resident entries (TLB reach)."""
         return sum(1 << key[0] for key, _ in self._cache.items())
 
+    def items(self):
+        """Resident ``((level, unit), entry)`` pairs, for invariant checks."""
+        return self._cache.items()
+
 
 class AIDTaggedTLB:
     """The PA-RISC-style TLB: one entry per page with rights and an AID.
@@ -200,6 +204,10 @@ class AIDTaggedTLB:
 
     def __contains__(self, vpn: int) -> bool:
         return vpn in self._cache
+
+    def items(self):
+        """Resident ``(vpn, entry)`` pairs, for invariant checks."""
+        return self._cache.items()
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -269,6 +277,10 @@ class ASIDTaggedTLB:
     def replicas(self, vpn: int) -> int:
         """How many domains currently hold an entry for this page."""
         return sum(1 for (_, entry_vpn), _ in self._cache.items() if entry_vpn == vpn)
+
+    def items(self):
+        """Resident ``((asid, vpn), entry)`` pairs, for invariant checks."""
+        return self._cache.items()
 
     def __len__(self) -> int:
         return len(self._cache)

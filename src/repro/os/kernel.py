@@ -505,6 +505,12 @@ class Kernel:
                     self.system.dcache.flush_page(vpn)
                 else:
                     self.system.dcache.flush_frame(pfn)
+                l2 = getattr(self.system, "l2", None)
+                if l2 is not None:
+                    # The L2 is physically tagged: left alone, its lines
+                    # would go stale the moment the freed frame is
+                    # recycled for another page.
+                    l2.flush_frame(pfn)
             self.ops.invalidate_translation(vpn)
             self.ops.on_unmap(vpn)
             self.translations.unmap(vpn)
@@ -636,13 +642,21 @@ class PLBOps(ModelOps):
         # updating a PLB entry" (§4.1.2).
         domain.page_overrides[vpn] = rights
         plb = self.system.plb
-        if len(plb.levels) > 1 or plb.levels != (0,):
-            # Superpage or sub-page entries may cover this page with the
-            # old uniform rights; they can no longer speak for it.
-            plb.purge_domain_range(domain.pd_id, vpn, vpn + 1)
-        else:
-            vaddr = self.kernel.params.vaddr(vpn)
+        vaddr = self.kernel.params.vaddr(vpn)
+        if plb.levels == (0,):
             plb.update_rights(domain.pd_id, vaddr, rights)
+        elif min(plb.levels) >= 0:
+            # A superpage entry covering this page spoke for the old
+            # uniform rights and cannot express the exception; the page
+            # entry holds the old rights.  Drop the domain's covering
+            # entries at every level with indexed probes (cheaper than a
+            # full associative sweep); new rights fault in lazily at page
+            # granularity.
+            plb.invalidate(domain.pd_id, vaddr)
+        else:
+            # Sub-page units: many units lie inside one page, beyond the
+            # reach of a single indexed probe — sweep the range.
+            plb.purge_domain_range(domain.pd_id, vpn, vpn + 1)
 
     def set_rights_all(self, vpn: int, rights: Rights) -> None:
         # One PLB entry per domain with access must change (§4.1.3: "the

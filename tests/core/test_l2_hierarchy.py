@@ -73,3 +73,48 @@ class TestHierarchy:
         kernel.attach(domain, segment, Rights.RW)
         Machine(kernel).read(domain, kernel.params.vaddr(segment.base_vpn))
         assert kernel.stats.total("l2cache") == 0
+
+
+class TestFetchBeforeVictimOrder:
+    """Regression: the demand fetch must probe the L2 before the dirty
+    victim installs.  With the order reversed, a victim mapping to the
+    same L2 set can (a) spuriously hit on its own just-written line and
+    (b) evict the very line about to be fetched — both visible in the
+    L2 hit counter under a conflict-heavy micro-configuration.
+    """
+
+    def make_micro(self):
+        from repro.core.mmu import PLBSystem, ProtectionInfo, TranslationInfo
+        from repro.core.rights import AccessType
+
+        class Identity:
+            def rights_for(self, pd_id, vpn):
+                return ProtectionInfo(rights=Rights.RW)
+
+            def translation_for(self, vpn):
+                return TranslationInfo(pfn=vpn)
+
+        identity = Identity()
+        # 2-set direct-mapped L1 over a 2-set direct-mapped L2: lines
+        # 0x0 and 0x40 collide in both.
+        system = PLBSystem(
+            identity, identity,
+            cache_bytes=64, cache_ways=1,
+            l2_cache_bytes=64, l2_cache_ways=1,
+        )
+        return system, AccessType
+
+    def test_conflicting_victim_does_not_hit_own_line(self):
+        system, AccessType = self.make_micro()
+        system.access(0x00, AccessType.WRITE)   # L2 miss, fills line 0
+        # Line 0x40 evicts dirty line 0x0 from L1.  Fetch-first: the
+        # fetch misses (L2 holds 0x0), fills, and the victim's write
+        # then misses too.  Victim-first would count a bogus L2 hit on
+        # the line the victim itself just wrote.
+        system.access(0x40, AccessType.WRITE)
+        assert system.stats["l2cache.hit"] == 0
+        # Reading 0x0 back evicts dirty 0x40.  The victim writeback of
+        # step 2 left line 0x0 resident, so the fetch hits exactly once.
+        system.access(0x00, AccessType.READ)
+        assert system.stats["l2cache.hit"] == 1
+        assert system.stats["l2cache.miss"] == 4

@@ -286,3 +286,41 @@ class TestDomainEntryCount:
         assert plb.entries_for_domain(1) == 3
         assert plb.entries_for_domain(2) == 1
         assert plb.entries_for_domain(3) == 0
+
+
+class TestMultiLevelSweep:
+    """Regression: invalidate/update_rights must visit EVERY level.
+
+    A domain can legitimately hold a page-level and a superpage-level
+    entry covering the same address; stopping at the first level that
+    hits leaves the sibling granting stale (possibly revoked) rights.
+    """
+
+    def make_both_levels(self) -> ProtectionLookasideBuffer:
+        plb = ProtectionLookasideBuffer(8, levels=(2, 0))
+        plb.fill(1, vaddr(4), Rights.RW, level=2)  # covers pages 4..7
+        plb.fill(1, vaddr(4), Rights.RW, level=0)
+        return plb
+
+    def test_invalidate_sweeps_all_levels(self):
+        plb = self.make_both_levels()
+        assert plb.invalidate(1, vaddr(4)) == 2
+        assert plb.resident(1, vaddr(4)) is None
+        assert plb.stats["plb.invalidate"] == 2
+
+    def test_update_rights_sweeps_all_levels(self):
+        plb = self.make_both_levels()
+        assert plb.update_rights(1, vaddr(4), Rights.READ) == 2
+        rights = [entry.rights for key, entry in plb.items() if key.pd_id == 1]
+        assert rights == [Rights.READ, Rights.READ]
+
+    def test_counts_zero_when_nothing_resident(self):
+        plb = ProtectionLookasideBuffer(8, levels=(2, 0))
+        assert plb.invalidate(1, vaddr(4)) == 0
+        assert plb.update_rights(1, vaddr(4), Rights.READ) == 0
+
+    def test_single_level_unaffected(self):
+        plb = ProtectionLookasideBuffer(8, levels=(2, 0))
+        plb.fill(1, vaddr(4), Rights.RW, level=2)
+        assert plb.invalidate(1, vaddr(4)) == 1
+        assert plb.resident(1, vaddr(4)) is None

@@ -207,3 +207,37 @@ class TestAssocProperties:
                 if key in model:
                     model.remove(key)
         assert sorted(cache.keys()) == sorted(model)
+
+
+class TestUpdateLRUNeutrality:
+    """Regression: update() rewrites a value without counting as a use.
+
+    A kernel rights-update walking the PLB must not refresh the entry's
+    recency — the program did not reference it, and promoting it would
+    let bookkeeping traffic distort replacement.
+    """
+
+    def test_updated_entry_still_evicted_first(self):
+        cache = AssocCache(2, 2, set_of=lambda k: 0)
+        cache.fill("a", 1)
+        cache.fill("b", 2)
+        assert cache.update("a", 10)  # "a" stays LRU
+        cache.fill("c", 3)            # evicts "a", not "b"
+        assert cache.peek("a") is None
+        assert cache.peek("b") == 2
+        assert cache.peek("c") == 3
+
+    def test_lookup_by_contrast_promotes(self):
+        cache = AssocCache(2, 2, set_of=lambda k: 0)
+        cache.fill("a", 1)
+        cache.fill("b", 2)
+        assert cache.lookup("a") == 1  # promotes "a"; "b" is now LRU
+        cache.fill("c", 3)
+        assert cache.peek("a") == 1
+        assert cache.peek("b") is None
+
+    def test_update_missing_returns_false_without_insert(self):
+        cache = AssocCache(2)
+        assert not cache.update("ghost", 1)
+        assert cache.peek("ghost") is None
+        assert cache.stats["t.update"] == 0

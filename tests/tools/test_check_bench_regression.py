@@ -1,0 +1,69 @@
+"""The bench-regression gate's comparison logic (tools/).
+
+Pins the contract that a baseline Table 1 cell missing from the current
+run is a hard failure — silently dropping a (workload, model) cell must
+not read as "no regression".
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from check_bench_regression import THRESHOLD, check  # noqa: E402
+
+
+BASELINE = {
+    "attach": {"plb": 1000, "pagegroup": 2000},
+    "gc": {"plb": 500},
+}
+
+
+def test_within_threshold_passes():
+    current = {
+        "attach": {"plb": int(1000 * (1 + THRESHOLD)), "pagegroup": 2000},
+        "gc": {"plb": 500},
+    }
+    assert check(current, BASELINE) == []
+
+
+def test_growth_beyond_threshold_fails():
+    current = {
+        "attach": {"plb": 1200, "pagegroup": 2000},
+        "gc": {"plb": 500},
+    }
+    failures = check(current, BASELINE)
+    assert len(failures) == 1
+    assert "attach / plb" in failures[0]
+    assert "+20.0%" in failures[0]
+
+
+def test_missing_cell_fails():
+    current = {
+        "attach": {"plb": 1000},  # pagegroup cell vanished
+        "gc": {"plb": 500},
+    }
+    failures = check(current, BASELINE)
+    assert len(failures) == 1
+    assert "attach / pagegroup" in failures[0]
+    assert "missing" in failures[0]
+
+
+def test_missing_workload_fails_every_cell():
+    failures = check({"attach": BASELINE["attach"]}, BASELINE)
+    assert failures == ["gc / plb: cell missing from current run"]
+
+
+def test_improvement_never_fails():
+    current = {
+        "attach": {"plb": 1, "pagegroup": 1},
+        "gc": {"plb": 1},
+    }
+    assert check(current, BASELINE) == []
+
+
+def test_zero_baseline_cell_does_not_divide_by_zero():
+    assert check({"gc": {"plb": 7}}, {"gc": {"plb": 0}}) == []
