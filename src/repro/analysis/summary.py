@@ -10,7 +10,7 @@ baseline — the shape a follow-on evaluation paper would lead with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.analysis.report import format_table
@@ -70,6 +70,37 @@ QUICK_RUNS: list[tuple[str, Callable[..., Table1Result]]] = [
 ]
 
 
+#: Fault/recovery counters surfaced in workload, profile and summary
+#: output so soak runs show recovery *cost*, not just correctness.
+RECOVERY_COUNTERS = (
+    "faults.injected",
+    "faults.recovered",
+    "disk.retries",
+    "scrub.repairs",
+)
+
+
+def recovery_counter_lines(stats_by_model) -> list[str]:
+    """Fault/recovery counter lines — empty when no such event occurred.
+
+    Fault-free runs contribute no lines at all, so seed output (and the
+    bench baselines pinned on it) stays byte-identical.
+    """
+    totals = {
+        model: {name: stats.get(name, 0) for name in RECOVERY_COUNTERS}
+        for model, stats in stats_by_model.items()
+    }
+    if not any(any(counts.values()) for counts in totals.values()):
+        return []
+    lines = ["fault recovery:"]
+    for model, counts in totals.items():
+        ranked = ", ".join(
+            f"{name}={count}" for name, count in counts.items() if count
+        )
+        lines.append(f"  {model}: {ranked or '(none)'}")
+    return lines
+
+
 def hot_counter_lines(stats_by_model, n: int = 6) -> list[str]:
     """Lead-in lines naming each model's hottest counters.
 
@@ -87,6 +118,8 @@ def hot_counter_lines(stats_by_model, n: int = 6) -> list[str]:
 class SummaryRow:
     workload: str
     cycles: dict[str, int]
+    #: per-model RECOVERY_COUNTERS totals (all zero on fault-free runs).
+    recovery: dict[str, dict[str, int]] = field(default_factory=dict)
 
 
 def run_summary(
@@ -96,7 +129,14 @@ def run_summary(
     rows = []
     for name, runner in QUICK_RUNS:
         result = runner(tuple(models))
-        rows.append(SummaryRow(workload=name, cycles=result.cycles(costs)))
+        rows.append(SummaryRow(
+            workload=name,
+            cycles=result.cycles(costs),
+            recovery={
+                model: {c: stats.get(c, 0) for c in RECOVERY_COUNTERS}
+                for model, stats in result.stats_by_model.items()
+            },
+        ))
     return rows
 
 
@@ -126,4 +166,25 @@ def render_summary(rows: list[SummaryRow], *, baseline: str = "plb") -> str:
     footer = "geometric mean " + ", ".join(
         f"{column} = {value}" for column, value in zip(ratio_columns, geomeans)
     )
+    recovery_totals: dict[str, dict[str, int]] = {}
+    for row in rows:
+        for model, counts in row.recovery.items():
+            bucket = recovery_totals.setdefault(model, {})
+            for name, count in counts.items():
+                bucket[name] = bucket.get(name, 0) + count
+    recovery = recovery_counter_lines(
+        {model: _DictStats(counts) for model, counts in recovery_totals.items()}
+    )
+    if recovery:
+        footer += "\n" + "\n".join(recovery)
     return table + "\n" + footer
+
+
+class _DictStats:
+    """Just enough of the Stats interface for recovery_counter_lines."""
+
+    def __init__(self, counts: dict[str, int]) -> None:
+        self._counts = counts
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self._counts.get(name, default)

@@ -18,6 +18,13 @@
   kernel-verb/reference stream through the selected models in lockstep
   against the gold model and report any divergence (exit 1) with a
   minimized repro dump.  Scenarios: fuzz, attach, rights, paging, switch.
+* ``chaos <scenario>`` — run a check scenario under a seeded fault plan
+  (disk errors, bit rot, machine checks, dropped shootdowns) and assert
+  that recovery converges the end state back to the gold model; exit 1
+  with a replayable JSON repro dump on unrecovered divergence.
+* ``crash-recover`` — sweep a simulated crash through every mutation
+  boundary of every journaled kernel verb and verify the intent journal
+  restores the authoritative state byte-for-byte.
 """
 
 from __future__ import annotations
@@ -28,7 +35,12 @@ from typing import Sequence
 
 from repro.analysis.figures import render_figure1, render_figure2
 from repro.analysis.report import format_table
-from repro.analysis.summary import hot_counter_lines, render_summary, run_summary
+from repro.analysis.summary import (
+    hot_counter_lines,
+    recovery_counter_lines,
+    render_summary,
+    run_summary,
+)
 from repro.analysis.table1 import (
     full_table1,
     run_attach_detach,
@@ -205,6 +217,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--invariant-every", type=int, default=16, metavar="N",
         help="run structural invariant checks every N ops (0 disables)",
     )
+
+    chaos = sub.add_parser(
+        "chaos", help="run a check scenario under fault injection"
+    )
+    chaos.add_argument(
+        "scenario",
+        help="fuzz scenario: fuzz, attach, rights, paging or switch",
+    )
+    chaos.add_argument(
+        "--model", default="plb", help="one of: " + ", ".join(MODELS)
+    )
+    chaos.add_argument(
+        "--plan", default="mixed",
+        help="fault plan: a preset name, 'none', or a JSON file "
+        "(a plan dict or a chaos repro dump)",
+    )
+    chaos.add_argument(
+        "--seed", default="0",
+        help="single seed ('7') or inclusive range ('0..9')",
+    )
+    chaos.add_argument(
+        "--ops", type=int, default=120,
+        help="approximate operations per seed (default 120)",
+    )
+    chaos.add_argument(
+        "--scrub-every", type=int, default=16, metavar="N",
+        help="run the protection scrubber every N ops (0 disables)",
+    )
+
+    crash = sub.add_parser(
+        "crash-recover",
+        help="sweep simulated crashes through every journaled verb",
+    )
+    crash.add_argument(
+        "--models", type=_parse_models, default=MODELS,
+        help="comma-separated subset of: " + ",".join(MODELS),
+    )
     return parser
 
 
@@ -245,6 +294,9 @@ def cmd_workload(name: str, models: Sequence[str]) -> str:
         for model, summary in result.summary_by_model.items()
     ]
     lines = hot_counter_lines(result.stats_by_model)
+    recovery = recovery_counter_lines(result.stats_by_model)
+    if recovery:
+        lines.extend(recovery)
     lines.append("")
     lines.append(result.render())
     if summary_rows and summary_rows[0][1:]:
@@ -352,11 +404,14 @@ def cmd_profile(name: str, model: str, top: int) -> str:
         table_rows,
         title=f"Hotspots: {name} on {model} (top {len(table_rows)} of {len(rows)})",
     )
-    return (
-        table
-        + f"\n\nattributed cycles (root spans): {total}"
+    footer = (
+        f"\n\nattributed cycles (root spans): {total}"
         + f"\nweighted cycles over run delta:  {cycles_for(delta)}"
     )
+    recovery = recovery_counter_lines({model: delta})
+    if recovery:
+        footer += "\n" + "\n".join(recovery)
+    return table + footer
 
 
 def cmd_replay(path: str, model: str, pages: int) -> str:
@@ -452,6 +507,118 @@ def cmd_check(
     return 0
 
 
+def _parse_plan(text: str):
+    """Resolve --plan: preset name, 'none', or a JSON file path.
+
+    A JSON file may hold either a bare plan dict (``{"events": ...}``) or
+    a full chaos repro dump (the ``"plan"`` key of which is used), so a
+    failing run's dump replays directly.
+    """
+    import json
+    import os
+
+    from repro.faults import PRESETS, FaultPlan
+
+    if text == "none":
+        return None
+    if text in PRESETS:
+        return text
+    if os.path.exists(text):
+        try:
+            with open(text) as fp:
+                data = json.load(fp)
+        except (OSError, json.JSONDecodeError) as error:
+            raise CLIError(f"cannot load --plan {text}: {error}")
+        if isinstance(data, dict) and isinstance(data.get("plan"), dict):
+            data = data["plan"]
+        try:
+            return FaultPlan.from_dict(data)
+        except (KeyError, TypeError, ValueError) as error:
+            raise CLIError(f"bad fault plan in {text}: {error}")
+    raise CLIError(
+        f"unknown --plan {text!r}: expected a preset "
+        f"({', '.join(sorted(PRESETS))}), 'none', or a JSON file"
+    )
+
+
+def cmd_chaos(
+    scenario: str,
+    model: str,
+    plan_text: str,
+    seed_text: str,
+    n_ops: int,
+    scrub_every: int,
+) -> int:
+    import json
+
+    from repro.check import SCENARIOS
+    from repro.faults.chaos import run_chaos
+
+    if scenario not in SCENARIOS:
+        raise CLIError(
+            f"unknown scenario {scenario!r}; choose from: "
+            + ", ".join(sorted(SCENARIOS))
+        )
+    if model not in MODELS:
+        raise CLIError(
+            f"unknown model {model!r}; choose from: " + ", ".join(MODELS)
+        )
+    plan = _parse_plan(plan_text)
+    seeds = _parse_seeds(seed_text)
+    failed = 0
+    for seed in seeds:
+        result = run_chaos(
+            scenario, model, seed,
+            plan=plan, n_ops=n_ops, scrub_every=scrub_every,
+        )
+        counters = ", ".join(
+            f"{key}={value}" for key, value in sorted(result.counters.items())
+            if key in ("faults.injected", "faults.recovered",
+                       "disk.retries", "scrub.repairs") and value
+        )
+        if result.ok:
+            print(
+                f"chaos {scenario} seed={seed}: OK "
+                f"({result.ops_total} ops, {result.refs_checked} refs, "
+                f"model={model}, plan={plan_text}"
+                + (f", {counters}" if counters else "")
+                + ")"
+            )
+        else:
+            failed += 1
+            print(
+                f"chaos {scenario} seed={seed}: FAIL — "
+                + result.divergence.describe()
+            )
+            print("replayable repro dump:")
+            print(json.dumps(result.dump(), indent=2))
+    if failed:
+        print(f"{failed}/{len(seeds)} seeds failed to recover", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_crash_recover(models: Sequence[str]) -> int:
+    import json
+
+    from repro.faults.chaos import run_crash_recover
+
+    result = run_crash_recover(tuple(models))
+    if result.ok:
+        print(
+            f"crash-recover: OK ({result.cases} verbs, "
+            f"{result.crash_points} crash points, "
+            f"models={','.join(models)})"
+        )
+        return 0
+    print(
+        f"crash-recover: FAIL — {len(result.failures)} of "
+        f"{result.crash_points} crash points did not recover"
+    )
+    print(json.dumps(result.dump(), indent=2))
+    return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -497,6 +664,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.scenario, args.models, args.seed, args.ops,
             args.invariant_every,
         )
+    elif args.command == "chaos":
+        return cmd_chaos(
+            args.scenario, args.model, args.plan, args.seed, args.ops,
+            args.scrub_every,
+        )
+    elif args.command == "crash-recover":
+        return cmd_crash_recover(args.models)
     return 0
 
 

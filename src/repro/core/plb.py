@@ -88,6 +88,10 @@ class ProtectionLookasideBuffer:
             stats=Stats(),
             set_of=lambda key: key.unit,
         )
+        # Graceful degradation (fault recovery): a disabled PLB answers
+        # every lookup with a miss and refuses fills, so each reference
+        # falls back to walking the authoritative protection tables.
+        self._disabled = False
 
     # ------------------------------------------------------------------ #
     # Unit arithmetic
@@ -114,6 +118,9 @@ class ProtectionLookasideBuffer:
         on a PLB miss, in which case the protection mapping must be
         loaded from the domain's protection table.
         """
+        if self._disabled:
+            self.stats.inc(f"{self.name}.disabled_walk")
+            return None
         for level in self.levels:
             key = PLBKey(pd_id, self.unit_for(vaddr, level), level)
             entry = self._store.lookup(key)
@@ -127,6 +134,8 @@ class ProtectionLookasideBuffer:
         """Load a protection mapping (after a PLB miss)."""
         if level not in self.levels:
             raise ValueError(f"level {level} not configured (have {self.levels})")
+        if self._disabled:
+            return
         key = PLBKey(pd_id, self.unit_for(vaddr, level), level)
         self._store.fill(key, PLBEntry(rights=rights))
         self.stats.inc(f"{self.name}.fill")
@@ -268,6 +277,35 @@ class ProtectionLookasideBuffer:
         self.stats.inc(f"{self.name}.purge")
         self.stats.inc(f"{self.name}.purge_removed", removed)
         return removed
+
+    def drop(self, key: PLBKey) -> bool:
+        """Remove one entry by exact key without event accounting.
+
+        The scrubber's repair path: correcting corrupted soft state must
+        not show up as a kernel maintenance operation in the stats.
+        """
+        return self._store.drop(key)
+
+    # ------------------------------------------------------------------ #
+    # Graceful degradation (machine-check recovery)
+
+    def disable(self) -> None:
+        """Take a flaky PLB offline: drop its contents, miss every lookup.
+
+        Protection still works — each reference walks the authoritative
+        tables — and the cost shows up as ``{name}.disabled_walk``.
+        """
+        self._store.purge()
+        self._disabled = True
+        self.stats.inc(f"{self.name}.disabled")
+
+    def enable(self) -> None:
+        """Bring the PLB back online (empty; entries refault lazily)."""
+        self._disabled = False
+
+    @property
+    def disabled(self) -> bool:
+        return self._disabled
 
     def _overlaps(self, key: PLBKey, vpn_lo: int, vpn_hi: int) -> bool:
         """Does the entry's protection unit overlap the page range?"""

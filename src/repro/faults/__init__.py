@@ -1,0 +1,41 @@
+"""Deterministic fault injection and recovery (chaos harness).
+
+Public surface:
+
+* :mod:`repro.faults.errors` — the typed fault hierarchy (re-exported
+  here; importable from anywhere, including the hardware layer).
+* :mod:`repro.faults.plan` — serializable seeded fault plans and the
+  :class:`FaultInjector` that arms them on a kernel.
+* :mod:`repro.faults.scrub` — the periodic cache scrubber.
+* :mod:`repro.faults.journal` — intent journal for crash-consistent
+  kernel verbs.
+* :mod:`repro.faults.chaos` — the chaos driver and crash-recover sweep.
+
+Only the errors and plan layers are re-exported at package level; the
+heavier modules (scrub/journal/chaos import the kernel) are imported by
+their submodule path to keep ``repro.os.kernel -> repro.faults.errors``
+free of cycles.
+"""
+
+from repro.faults.errors import (
+    CorruptPageError,
+    DiskError,
+    HardwareFault,
+    MachineCheck,
+    MissingPageError,
+    TransientDiskError,
+)
+from repro.faults.plan import PRESETS, FaultEvent, FaultInjector, FaultPlan
+
+__all__ = [
+    "HardwareFault",
+    "DiskError",
+    "TransientDiskError",
+    "CorruptPageError",
+    "MissingPageError",
+    "MachineCheck",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "PRESETS",
+]

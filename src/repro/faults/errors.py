@@ -1,0 +1,67 @@
+"""Typed fault exceptions for the fault-injection and recovery subsystem.
+
+The seed repository modelled a perfect machine: a missing page on the
+backing store raised a bare ``KeyError`` and any corrupted protection
+state was undefined behaviour.  This module gives every hardware fault a
+name so recovery code can catch exactly what it can repair:
+
+* ``DiskError`` and subclasses — backing-store I/O failures.  Transient
+  errors are retryable; corrupt pages (checksum mismatch) are not, but a
+  pager may substitute a zero page; a missing page is a programming
+  error unless injected.
+* ``MachineCheck`` — a protection structure (PLB, TLB, page-group
+  holder) reported an inconsistency.  The kernel's machine-check handler
+  flushes and rebuilds the affected soft state from the authoritative
+  tables (Section 3's "caches are soft state" claim, made executable).
+
+``MissingPageError`` also subclasses ``KeyError`` so that pre-existing
+callers (and tests) written against the seed's bare ``KeyError``
+contract keep working.
+"""
+
+from __future__ import annotations
+
+
+class HardwareFault(Exception):
+    """Base class for injected or detected hardware faults."""
+
+
+class DiskError(HardwareFault):
+    """A backing-store I/O operation failed."""
+
+
+class TransientDiskError(DiskError):
+    """A retryable I/O failure (controller timeout, bus glitch)."""
+
+
+class CorruptPageError(DiskError):
+    """Page data failed its integrity check (bit-rot, torn write)."""
+
+
+class MissingPageError(DiskError, KeyError):
+    """The requested page was never written to the backing store.
+
+    Subclasses ``KeyError`` for compatibility with the seed contract
+    (``BackingStore.read`` historically raised a bare ``KeyError``).
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return Exception.__str__(self)
+
+
+class MachineCheck(HardwareFault):
+    """A protection structure detected (or was injected with) corruption.
+
+    Args:
+        structure: Name of the faulted structure (``"plb"``, ``"tlb"``,
+            ``"holder"``, ...).
+        pd_id: The protection domain whose cached state is suspect, or
+            None when the whole structure must be rebuilt.
+    """
+
+    def __init__(self, structure: str, pd_id: int | None = None, detail: str = "") -> None:
+        self.structure = structure
+        self.pd_id = pd_id
+        self.detail = detail
+        where = structure if pd_id is None else f"{structure} (pd {pd_id})"
+        super().__init__(f"machine check in {where}" + (f": {detail}" if detail else ""))

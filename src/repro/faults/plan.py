@@ -1,0 +1,491 @@
+"""Serializable, seeded fault plans and the injector that arms them.
+
+A :class:`FaultPlan` is a deterministic schedule of :class:`FaultEvent`
+records.  Each event names a *site* (where the fault strikes), a *kind*
+(what goes wrong), and an index ``at`` in that site's own event stream:
+
+* ``disk`` events count backing-store reads/writes — ``transient_read``
+  and ``transient_write`` raise :class:`TransientDiskError` for ``arg``
+  consecutive operations; ``torn_write`` persists a truncated image
+  (caught later by the checksum); ``bitrot`` flips one bit in a read.
+* ``cache`` events count workload operations (the driver calls
+  :meth:`FaultInjector.tick` once per op) — ``corrupt`` mutates a
+  resident protection entry's rights, ``tag_flip`` re-tags one (wrong
+  domain / wrong AID), ``mce`` raises a machine check through the
+  kernel's handler, ``degrade`` disables a flaky PLB/TLB level.
+* ``shootdown`` events count protection-invalidation operations —
+  ``drop`` swallows one, ``delay`` defers it by ``arg`` workload ops.
+* ``authority`` events corrupt the authoritative tables themselves
+  (``corrupt_authority``) — deliberately *unrecoverable*, used to prove
+  the chaos harness detects real divergence and exits non-zero.
+
+Everything is seeded: the plan's ``seed`` drives target selection
+(which entry, which bit), so a plan replayed from its JSON dump injects
+byte-identical faults.  The injector is also transparent when idle: an
+armed injector whose events never fire leaves the simulation's Stats
+byte-identical to an unarmed run (the zero-overhead-when-off contract
+the tracer established).
+
+This module must not import :mod:`repro.os.kernel` (the kernel imports
+:mod:`repro.faults.errors`); it discovers the model through the memory
+system's ``model_name`` attribute.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.rights import Rights
+from repro.faults.errors import MachineCheck, TransientDiskError
+
+#: kinds accepted per site, for validation at construction time.
+KINDS = {
+    "disk": ("transient_read", "transient_write", "torn_write", "bitrot"),
+    "cache": ("corrupt", "tag_flip", "mce", "degrade"),
+    "shootdown": ("drop", "delay"),
+    "authority": ("corrupt_authority",),
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        site: ``disk`` | ``cache`` | ``shootdown`` | ``authority``.
+        at: Zero-based index in the site's event stream (disk ops for
+            ``disk``, workload ops for ``cache``/``authority``,
+            invalidation ops for ``shootdown``).
+        arg: Kind-specific: repeat count for transient disk errors and
+            shootdown drops, delay in workload ops for ``delay``,
+            structure selector for ``degrade`` (0 = PLB, 1 = TLB).
+    """
+
+    site: str
+    kind: str
+    at: int
+    arg: int = 1
+
+    def __post_init__(self) -> None:
+        if self.site not in KINDS:
+            raise ValueError(f"unknown fault site {self.site!r}")
+        if self.kind not in KINDS[self.site]:
+            raise ValueError(f"kind {self.kind!r} invalid for site {self.site!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"site": self.site, "kind": self.kind, "at": self.at, "arg": self.arg}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> FaultEvent:
+        return cls(
+            site=data["site"], kind=data["kind"], at=data["at"], arg=data.get("arg", 1)
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded schedule of fault events."""
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+    name: str = "custom"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> FaultPlan:
+        return cls(
+            events=tuple(FaultEvent.from_dict(e) for e in data.get("events", ())),
+            seed=data.get("seed", 0),
+            name=data.get("name", "custom"),
+        )
+
+    @classmethod
+    def generate(cls, preset: str, seed: int, n_ops: int = 64) -> FaultPlan:
+        """Build a plan from a named preset, deterministically from ``seed``."""
+        if preset not in PRESETS:
+            raise ValueError(f"unknown fault preset {preset!r}; have {sorted(PRESETS)}")
+        rng = random.Random(f"{preset}:{seed}")
+        events = tuple(PRESETS[preset](rng, max(n_ops, 8)))
+        return cls(events=events, seed=seed, name=preset)
+
+
+def _mid(rng: random.Random, n_ops: int) -> int:
+    """A workload-op index in the middle half of the run."""
+    return rng.randrange(n_ops // 4, max(n_ops // 4 + 1, 3 * n_ops // 4))
+
+
+def _preset_disk(rng: random.Random, n_ops: int) -> list[FaultEvent]:
+    return [
+        FaultEvent("disk", "transient_read", at=rng.randrange(0, 3), arg=rng.randrange(1, 3)),
+        FaultEvent("disk", "transient_write", at=rng.randrange(0, 3), arg=1),
+        FaultEvent("disk", "transient_read", at=rng.randrange(4, 9), arg=1),
+    ]
+
+
+def _preset_bitrot(rng: random.Random, n_ops: int) -> list[FaultEvent]:
+    return [
+        FaultEvent("disk", "bitrot", at=rng.randrange(0, 4), arg=1),
+        FaultEvent("disk", "torn_write", at=rng.randrange(0, 4), arg=1),
+        FaultEvent("disk", "bitrot", at=rng.randrange(5, 10), arg=1),
+    ]
+
+
+def _preset_mce(rng: random.Random, n_ops: int) -> list[FaultEvent]:
+    first = _mid(rng, n_ops)
+    return [
+        FaultEvent("cache", "corrupt", at=first),
+        FaultEvent("cache", "mce", at=min(first + rng.randrange(1, 4), n_ops - 1)),
+        FaultEvent("cache", "corrupt", at=min(first + rng.randrange(4, 8), n_ops - 1)),
+    ]
+
+
+def _preset_shootdown(rng: random.Random, n_ops: int) -> list[FaultEvent]:
+    return [
+        FaultEvent("shootdown", "drop", at=rng.randrange(0, 4), arg=1),
+        FaultEvent("shootdown", "delay", at=rng.randrange(4, 8), arg=rng.randrange(2, 6)),
+        FaultEvent("shootdown", "drop", at=rng.randrange(8, 14), arg=1),
+    ]
+
+
+def _preset_flaky_plb(rng: random.Random, n_ops: int) -> list[FaultEvent]:
+    return [
+        FaultEvent("cache", "corrupt", at=rng.randrange(1, max(2, n_ops // 4))),
+        FaultEvent("cache", "degrade", at=_mid(rng, n_ops), arg=rng.randrange(0, 2)),
+    ]
+
+
+def _preset_mixed(rng: random.Random, n_ops: int) -> list[FaultEvent]:
+    events = [
+        FaultEvent("disk", "transient_read", at=rng.randrange(0, 4), arg=1),
+        FaultEvent("shootdown", "drop", at=rng.randrange(0, 6), arg=1),
+        FaultEvent("cache", "corrupt", at=_mid(rng, n_ops)),
+        FaultEvent("cache", "tag_flip", at=_mid(rng, n_ops)),
+        FaultEvent("cache", "mce", at=_mid(rng, n_ops)),
+    ]
+    if rng.random() < 0.5:
+        events.append(FaultEvent("disk", "bitrot", at=rng.randrange(2, 7), arg=1))
+    return events
+
+
+def _preset_unrecoverable(rng: random.Random, n_ops: int) -> list[FaultEvent]:
+    return [FaultEvent("authority", "corrupt_authority", at=_mid(rng, n_ops))]
+
+
+#: Named plan builders: preset name -> (rng, n_ops) -> events.
+PRESETS: dict[str, Callable[[random.Random, int], list[FaultEvent]]] = {
+    "disk": _preset_disk,
+    "bitrot": _preset_bitrot,
+    "mce": _preset_mce,
+    "shootdown": _preset_shootdown,
+    "flaky-plb": _preset_flaky_plb,
+    "mixed": _preset_mixed,
+    "unrecoverable": _preset_unrecoverable,
+}
+
+#: Rights values a corrupt event may rewrite an entry to.
+_CORRUPT_RIGHTS = (Rights.NONE, Rights.READ, Rights.RW)
+
+
+@dataclass
+class _Delayed:
+    """An invalidation swallowed now, replayed at a later workload op."""
+
+    fire_at: int
+    replay: Callable[[], Any]
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` onto a kernel and fires its events.
+
+    The injector keeps its own per-site counters (plain ints, never
+    Stats, so an idle injector perturbs nothing).  ``arm`` attaches the
+    disk hook and wraps the model's protection-invalidation methods;
+    ``disarm`` restores everything.  The driver calls ``tick(op_index)``
+    before each workload op to fire op-indexed events and replay delayed
+    shootdowns, and ``flush_delayed`` before end-state verification.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.kernel = None
+        self._disk_reads = 0
+        self._disk_writes = 0
+        self._invalidations = 0
+        self._op_index = -1
+        self._fired: set[int] = set()  # indices into plan.events, fire-once kinds
+        self._delayed: list[_Delayed] = []
+        self._unwraps: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Arming
+
+    def arm(self, kernel) -> None:
+        if self.kernel is not None:
+            raise RuntimeError("injector is already armed")
+        self.kernel = kernel
+        kernel.backing.injector = self
+        system = kernel.system
+        model = system.model_name
+        if model == "plb":
+            for name in (
+                "invalidate",
+                "update_rights",
+                "purge_domain_range",
+                "sweep_domain_range",
+                "update_entries_for_page",
+                "purge_page",
+            ):
+                neutral = 0 if name in ("invalidate", "update_rights") else (0, 0)
+                self._wrap(system.plb, name, neutral)
+        elif model == "pagegroup":
+            self._wrap(system.tlb, "update", False)
+            self._wrap(system.groups, "drop", False)
+        else:
+            self._wrap(system.tlb, "update_rights", False)
+            self._wrap(system.tlb, "invalidate_domain_range", (0, 0))
+
+    def disarm(self) -> None:
+        if self.kernel is None:
+            return
+        self.flush_delayed()
+        self.kernel.backing.injector = None
+        for undo in self._unwraps:
+            undo()
+        self._unwraps.clear()
+        self.kernel = None
+
+    def _wrap(self, obj, name: str, neutral) -> None:
+        """Route a protection-invalidation method through the shootdown site.
+
+        Translation invalidations are deliberately *not* wrapped: a
+        dropped translation shootdown would let the simulator read a
+        released frame, which is a harness crash, not a modelled fault.
+        """
+        original = getattr(obj, name)
+
+        def wrapped(*args, **kwargs):
+            event = self._match_shootdown()
+            if event is None:
+                return original(*args, **kwargs)
+            self._record(event)
+            if event.kind == "delay":
+                self._delayed.append(
+                    _Delayed(
+                        fire_at=self._op_index + event.arg,
+                        replay=lambda: original(*args, **kwargs),
+                    )
+                )
+            return neutral
+
+        setattr(obj, name, wrapped)
+        self._unwraps.append(lambda: setattr(obj, name, original))
+
+    # ------------------------------------------------------------------ #
+    # Site streams
+
+    def _match_shootdown(self) -> FaultEvent | None:
+        index = self._invalidations
+        self._invalidations += 1
+        for event in self.plan.events:
+            if event.site != "shootdown":
+                continue
+            span = event.arg if event.kind == "drop" else 1
+            if event.at <= index < event.at + max(span, 1):
+                return event
+        return None
+
+    def on_disk_write(self, vpn: int, data: bytes) -> bytes:
+        index = self._disk_writes
+        self._disk_writes += 1
+        for event in self.plan.events:
+            if event.site != "disk":
+                continue
+            if event.kind == "transient_write" and event.at <= index < event.at + event.arg:
+                self._record(event, vpn=vpn)
+                raise TransientDiskError(f"write of page {vpn:#x} failed (injected)")
+            if event.kind == "torn_write" and event.at <= index < event.at + max(event.arg, 1):
+                self._record(event, vpn=vpn)
+                return data[: max(1, len(data) // 2)]
+        return data
+
+    def on_disk_read(self, vpn: int) -> None:
+        index = self._disk_reads
+        self._disk_reads += 1
+        for event in self.plan.events:
+            if event.site != "disk":
+                continue
+            if event.kind == "transient_read" and event.at <= index < event.at + event.arg:
+                self._record(event, vpn=vpn)
+                raise TransientDiskError(f"read of page {vpn:#x} failed (injected)")
+
+    def mangle_read(self, vpn: int, data: bytes) -> bytes:
+        index = self._disk_reads - 1  # on_disk_read already counted this op
+        for event in self.plan.events:
+            if event.site != "disk" or event.kind != "bitrot":
+                continue
+            if event.at <= index < event.at + max(event.arg, 1):
+                self._record(event, vpn=vpn)
+                if not data:
+                    return data
+                byte = self.rng.randrange(len(data))
+                bit = self.rng.randrange(8)
+                mangled = bytearray(data)
+                mangled[byte] ^= 1 << bit
+                return bytes(mangled)
+        return data
+
+    # ------------------------------------------------------------------ #
+    # Workload-op stream (cache / authority events, delayed replay)
+
+    def tick(self, op_index: int) -> None:
+        """Advance to workload op ``op_index``; fire due events."""
+        self._op_index = op_index
+        for slot, event in enumerate(self.plan.events):
+            if event.site not in ("cache", "authority"):
+                continue
+            if slot in self._fired or event.at > op_index:
+                continue
+            self._fired.add(slot)
+            self._fire_cache_event(event)
+        self._replay_due(op_index)
+
+    def flush_delayed(self) -> None:
+        """Replay every outstanding delayed shootdown (end of run)."""
+        self._replay_due(None)
+
+    def _replay_due(self, op_index: int | None) -> None:
+        due = [
+            d for d in self._delayed if op_index is None or d.fire_at <= op_index
+        ]
+        self._delayed = [d for d in self._delayed if d not in due]
+        for delayed in due:
+            delayed.replay()
+
+    # ------------------------------------------------------------------ #
+    # Cache / authority event bodies
+
+    def _fire_cache_event(self, event: FaultEvent) -> None:
+        kernel = self.kernel
+        model = kernel.system.model_name
+        if event.kind == "mce":
+            self._record(event)
+            structure = {"plb": "plb", "pagegroup": "pgtlb", "conventional": "asidtlb"}[model]
+            kernel.handle_machine_check(MachineCheck(structure, detail="injected"))
+            return
+        if event.kind == "degrade":
+            if model != "plb":
+                kernel.stats.inc("faults.skipped")
+                return
+            self._record(event)
+            target = kernel.system.plb if event.arg == 0 else kernel.system.tlb
+            target.disable()
+            return
+        if event.kind == "corrupt_authority":
+            self._corrupt_authority(event)
+            return
+        self._corrupt_cache(event, model)
+
+    def _corrupt_cache(self, event: FaultEvent, model: str) -> None:
+        system = self.kernel.system
+        if model == "plb":
+            entries = list(system.plb.items())
+        else:
+            entries = list(system.tlb.items())
+        if not entries:
+            self.kernel.stats.inc("faults.skipped")
+            return
+        key, entry = self.rng.choice(entries)
+        self._record(event)
+        if event.kind == "corrupt":
+            choices = [r for r in _CORRUPT_RIGHTS if r != entry.rights]
+            entry.rights = self.rng.choice(choices)
+            return
+        # tag_flip: re-tag the entry so it answers for the wrong owner.
+        # Injection goes straight into the backing store, below the
+        # architectural interface — corruption must not show up as
+        # kernel-attributed maintenance operations in the stats.
+        if model == "plb":
+            from repro.core.plb import PLBEntry, PLBKey
+
+            system.plb._store.invalidate(key)
+            system.plb._store.fill(
+                PLBKey(key.pd_id + 1, key.unit, key.level), PLBEntry(rights=entry.rights)
+            )
+        elif model == "pagegroup":
+            entry.aid = entry.aid + 1
+        else:
+            entry.rights = Rights.RW  # ASID keys are frozen; flip rights wide instead
+
+    def _corrupt_authority(self, event: FaultEvent) -> None:
+        """Corrupt the model's *authoritative* protection tables.
+
+        Deliberately unrecoverable: every repair path (scrub, machine
+        check, journal recovery) rebuilds caches *from* authority, so
+        corrupted authority survives all of them and must surface as an
+        oracle divergence.  Each model's real authority is targeted:
+        the group table for the page-group model, the attachment tables
+        for the domain-page models — plus the per-domain mirror tables
+        the conventional system refills from.
+        """
+        kernel = self.kernel
+        model = kernel.system.model_name
+        if model == "pagegroup":
+            vpns = sorted(
+                vpn
+                for vpn in kernel.group_table._aid
+                if kernel.group_table.rights_of(vpn) is not None
+            )
+            if not vpns:
+                kernel.stats.inc("faults.skipped")
+                return
+            vpn = self.rng.choice(vpns)
+            current = kernel.group_table.rights_of(vpn)
+            corrupted = Rights.NONE if current != Rights.NONE else Rights.RW
+            kernel.group_table.set_rights(vpn, corrupted)
+            self._record(event, vpn=vpn)
+            return
+        candidates = [
+            (domain, seg_id)
+            for domain in kernel.domains.values()
+            for seg_id in sorted(domain.attachments)
+        ]
+        if not candidates:
+            kernel.stats.inc("faults.skipped")
+            return
+        domain, seg_id = self.rng.choice(candidates)
+        current = domain.attachments[seg_id]
+        corrupted = self.rng.choice([r for r in _CORRUPT_RIGHTS if r != current])
+        domain.attachments[seg_id] = corrupted
+        if model == "conventional":
+            mirror = kernel.linear_tables.get(domain.pd_id)
+            segment = next(
+                (s for s in kernel._segments_by_base.values() if s.seg_id == seg_id),
+                None,
+            )
+            if mirror is not None and segment is not None:
+                for vpn in segment.vpns():
+                    if vpn not in domain.page_overrides:
+                        mirror.set_rights(vpn, corrupted)
+        self._record(event, pd=domain.pd_id, seg=seg_id)
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+
+    def _record(self, event: FaultEvent, **attrs) -> None:
+        kernel = self.kernel
+        kernel.stats.inc("faults.injected")
+        kernel.stats.inc(f"faults.injected.{event.site}.{event.kind}")
+        if kernel.tracer.active:
+            with kernel.tracer.span(
+                "fault.inject", site=event.site, kind=event.kind, at=event.at, **attrs
+            ):
+                pass

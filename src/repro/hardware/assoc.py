@@ -121,6 +121,19 @@ class AssocCache(Generic[K, V]):
             return True
         return False
 
+    def drop(self, key: K) -> bool:
+        """Remove one entry without event accounting.
+
+        The repair path for scrubbers and machine-check recovery: fixing
+        up corrupted soft state must not be charged as an architectural
+        maintenance operation, or repaired runs stop being comparable.
+        """
+        entry_set = self._set_for(key)
+        if key in entry_set:
+            del entry_set[key]
+            return True
+        return False
+
     def sweep(self, predicate: Callable[[K, V], bool]) -> tuple[int, int]:
         """Inspect every entry, removing those matching ``predicate``.
 

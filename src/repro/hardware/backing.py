@@ -7,6 +7,14 @@ compression paging compresses page images before writing them out
 with per-operation counters, and :class:`CompressedStore` layers a
 compressor over it so the compression-paging workload exercises a real
 compress/decompress round trip.
+
+The store is also a fault-injection site: every write records a CRC32
+of the stored image and every read verifies it, so injected bit-rot and
+torn writes surface as :class:`~repro.faults.errors.CorruptPageError`
+rather than silent data corruption.  An optional ``injector`` (armed by
+:class:`repro.faults.plan.FaultInjector`) may veto or mangle individual
+operations; when no injector is attached the I/O path is byte-for-byte
+identical to the seed implementation.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
+from repro.faults.errors import CorruptPageError, MissingPageError
 from repro.sim.stats import Stats
 
 
@@ -31,25 +40,49 @@ class BackingStore:
 
     def __post_init__(self) -> None:
         self._pages: dict[int, bytes] = {}
+        self._sums: dict[int, int] = {}
+        # Fault-injection hook; None means a perfect disk (the default).
+        self.injector = None
 
     def write(self, vpn: int, data: bytes) -> None:
-        self._pages[vpn] = data
+        stored = data
+        if self.injector is not None:
+            stored = self.injector.on_disk_write(vpn, data)
+        self._pages[vpn] = stored
+        # The checksum always covers what the writer *intended* to store,
+        # so a torn write (stored != data) is caught on the next read.
+        self._sums[vpn] = zlib.crc32(data)
         self.stats.inc("disk.write")
         self.stats.inc("disk.bytes_written", len(data))
 
     def read(self, vpn: int) -> bytes:
         self.stats.inc("disk.read")
+        if self.injector is not None:
+            self.injector.on_disk_read(vpn)
         try:
             data = self._pages[vpn]
         except KeyError:
-            raise KeyError(f"page {vpn:#x} is not on backing store") from None
+            raise MissingPageError(f"page {vpn:#x} is not on backing store") from None
+        if self.injector is not None:
+            data = self.injector.mangle_read(vpn, data)
+        if zlib.crc32(data) != self._sums[vpn]:
+            raise CorruptPageError(f"page {vpn:#x} failed its integrity check")
         self.stats.inc("disk.bytes_read", len(data))
         return data
+
+    def peek(self, vpn: int) -> bytes | None:
+        """The raw stored image without I/O accounting or verification.
+
+        Used by the intent journal to snapshot disk state; returns None
+        when the page is not on the store.
+        """
+        return self._pages.get(vpn)
 
     def discard(self, vpn: int) -> bool:
         """Drop a stored page; True if it was present."""
         if vpn in self._pages:
             del self._pages[vpn]
+            self._sums.pop(vpn, None)
             self.stats.inc("disk.discard")
             return True
         return False
@@ -85,7 +118,10 @@ class CompressedStore:
 
     def page_in(self, vpn: int) -> bytes:
         """Fetch and decompress a page image."""
-        data = zlib.decompress(self.store.read(vpn))
+        try:
+            data = zlib.decompress(self.store.read(vpn))
+        except zlib.error:
+            raise CorruptPageError(f"page {vpn:#x} image is undecompressable") from None
         self.stats.inc("compress.page_in")
         return data
 

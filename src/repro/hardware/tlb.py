@@ -100,9 +100,16 @@ class TranslationTLB:
         self._cache: AssocCache[tuple[int, int], TranslationEntry] = AssocCache(
             entries, ways, name="_raw", stats=Stats(), set_of=lambda key: key[1]
         )
+        # Graceful degradation: a disabled TLB misses every lookup and
+        # installs nothing, so every reference re-walks the translation
+        # table (cost visible as ``{name}.disabled_walk``).
+        self._disabled = False
 
     def lookup(self, vpn: int) -> TranslationEntry | None:
         """Probe all levels for a translation covering ``vpn``."""
+        if self._disabled:
+            self.stats.inc(f"{self.name}.disabled_walk")
+            return None
         for level in self.levels:
             entry = self._cache.lookup((level, vpn >> level))
             if entry is not None:
@@ -117,6 +124,10 @@ class TranslationTLB:
         if level not in self.levels:
             raise ValueError(f"level {level} not configured (have {self.levels})")
         entry = TranslationEntry(pfn=pfn, level=level, dirty=dirty, referenced=True)
+        if self._disabled:
+            # Hand the walker its entry without caching it: the access
+            # completes but the next reference walks the table again.
+            return entry
         self._cache.fill((level, vpn >> level), entry)
         self.stats.inc(f"{self.name}.fill")
         return entry
@@ -134,6 +145,23 @@ class TranslationTLB:
         self.stats.inc(f"{self.name}.purge")
         self.stats.inc(f"{self.name}.purge_removed", removed)
         return removed
+
+    def drop(self, key: tuple[int, int]) -> bool:
+        """Remove one ``(level, unit)`` entry without accounting (scrub)."""
+        return self._cache.drop(key)
+
+    def disable(self) -> None:
+        """Take a flaky TLB offline (machine-check degradation)."""
+        self._cache.purge()
+        self._disabled = True
+        self.stats.inc(f"{self.name}.disabled")
+
+    def enable(self) -> None:
+        self._disabled = False
+
+    @property
+    def disabled(self) -> bool:
+        return self._disabled
 
     def __contains__(self, vpn: int) -> bool:
         return any(
@@ -198,6 +226,10 @@ class AIDTaggedTLB:
 
     def invalidate(self, vpn: int) -> bool:
         return self._cache.invalidate(vpn)
+
+    def drop(self, vpn: int) -> bool:
+        """Remove one entry without accounting (scrub repair path)."""
+        return self._cache.drop(vpn)
 
     def purge(self) -> int:
         return self._cache.purge()
@@ -273,6 +305,10 @@ class ASIDTaggedTLB:
 
     def purge(self) -> int:
         return self._cache.purge()
+
+    def drop(self, key: tuple[int, int]) -> bool:
+        """Remove one ``(asid, vpn)`` entry without accounting (scrub)."""
+        return self._cache.drop(key)
 
     def replicas(self, vpn: int) -> int:
         """How many domains currently hold an entry for this page."""

@@ -37,6 +37,7 @@ from repro.core.mmu import (
 )
 from repro.core.params import MachineParams, DEFAULT_PARAMS
 from repro.core.rights import Rights
+from repro.faults.errors import MachineCheck
 from repro.hardware.backing import BackingStore
 from repro.hardware.memory import PhysicalMemory
 from repro.hardware.registers import PIDEntry
@@ -48,6 +49,9 @@ from repro.sim.stats import Stats
 
 #: The memory-system models a kernel can run on.
 MODELS = ("plb", "pagegroup", "conventional")
+
+#: Machine checks tolerated per structure before it is taken offline.
+MCE_DEGRADE_THRESHOLD = 3
 
 
 class SegmentationViolation(Exception):
@@ -122,6 +126,12 @@ class Kernel:
         self._contiguous: dict[int, int] = {}
         self._protection_handlers: list[Callable[[ProtectionFault], bool]] = []
         self._page_fault_handlers: list[Callable[[PageFault], bool]] = []
+        #: Machine-check bookkeeping: per-structure fault counts, for the
+        #: degradation policy of :meth:`handle_machine_check`.
+        self._mce_counts: dict[str, int] = {}
+        #: Intent-journal hook: when set, multi-step verbs announce each
+        #: mutation boundary by label (see :mod:`repro.faults.journal`).
+        self._verb_step_hook: Callable[[str], None] | None = None
 
         options = dict(system_options or {})
         self.system: MemorySystem = self._build_system(model, options)
@@ -152,6 +162,16 @@ class Kernel:
         """Charge one kernel entry (trap or protected syscall)."""
         self.stats.inc("kernel.trap")
         self.stats.inc(f"kernel.syscall.{label}")
+
+    def _verb_step(self, label: str) -> None:
+        """Announce a mutation boundary inside a multi-step verb.
+
+        A no-op unless an intent journal installed a hook; the hook may
+        raise :class:`~repro.faults.journal.SimulatedCrash` to model a
+        crash exactly between two mutations.
+        """
+        if self._verb_step_hook is not None:
+            self._verb_step_hook(label)
 
     # ------------------------------------------------------------------ #
     # Hardware source protocols (miss handling)
@@ -434,6 +454,7 @@ class Kernel:
         self._trap("revoke_group")
         system = self._require_pagegroup()
         domain.revoke_group(aid)
+        self._verb_step("revoked")
         if self.system.current_domain == domain.pd_id:
             system.groups.drop(aid)
 
@@ -447,8 +468,10 @@ class Kernel:
         self._trap("move_page")
         system = self._require_pagegroup()
         old = self.group_table.move(vpn, aid)
+        self._verb_step("moved")
         if rights is not None:
             self.group_table.set_rights(vpn, rights)
+            self._verb_step("rights_set")
         system.tlb.update(vpn, rights=rights, aid=aid)
         return old
 
@@ -571,6 +594,47 @@ class Kernel:
             # Demand-zero: the page belongs to a segment but has no frame.
             self.populate_page(vpn)
 
+    def handle_machine_check(self, mc: MachineCheck) -> None:
+        """Recover from corruption reported in a protection structure.
+
+        The paper's load-bearing property is that every protection cache
+        is *soft state* rebuildable from the authoritative tables
+        (Section 3.2); this handler makes that executable: flush the
+        suspect structure and let entries refault from authority.  A
+        structure that keeps machine-checking (``MCE_DEGRADE_THRESHOLD``
+        strikes) is taken offline entirely — the PLB system can run with
+        a disabled PLB or TLB by walking the tables on every reference,
+        at a cost visible in the ``*.disabled_walk`` counters.
+        """
+        self._trap("machine_check")
+        self.stats.inc("kernel.fault.machine_check")
+        self.stats.inc(f"kernel.fault.machine_check.{mc.structure}")
+        with self.tracer.span(
+            "kernel.fault.machine_check", structure=mc.structure, pd=mc.pd_id
+        ):
+            count = self._mce_counts.get(mc.structure, 0) + 1
+            self._mce_counts[mc.structure] = count
+            if count >= MCE_DEGRADE_THRESHOLD and self.model == "plb":
+                target = (
+                    self.system.plb if mc.structure == "plb" else self.system.tlb
+                )
+                if not target.disabled:
+                    target.disable()
+                    self.stats.inc(f"kernel.degraded.{mc.structure}")
+            self.rebuild_protection_state(mc.pd_id)
+        self.stats.inc("faults.recovered")
+
+    def rebuild_protection_state(self, pd_id: int | None = None) -> None:
+        """Flush and rebuild protection soft state from authority.
+
+        With ``pd_id`` the rebuild is scoped to one domain where the
+        model allows it; otherwise every cached protection mapping is
+        discarded and refaults lazily from the attachment tables.
+        """
+        self.stats.inc("kernel.rebuild_protection")
+        with self.tracer.span("kernel.rebuild_protection", pd=pd_id):
+            self.ops.rebuild_protection(pd_id)
+
     # ------------------------------------------------------------------ #
     # Introspection
 
@@ -608,6 +672,10 @@ class ModelOps:
     def invalidate_translation(self, vpn: int) -> None:
         raise NotImplementedError
 
+    def rebuild_protection(self, pd_id: int | None = None) -> None:
+        """Discard cached protection state; rebuild what cannot refault."""
+        raise NotImplementedError
+
     def on_populate(self, vpn: int, pfn: int) -> None:
         """Hook: a page just became resident."""
 
@@ -635,6 +703,7 @@ class PLBOps(ModelOps):
         # the segment-domain pair affected" (Table 1).
         del domain.attachments[segment.seg_id]
         domain.clear_overrides_in(segment.base_vpn, segment.end_vpn)
+        self.kernel._verb_step("detached")
         self.system.plb.purge_domain_range(domain.pd_id, segment.base_vpn, segment.end_vpn)
 
     def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
@@ -684,6 +753,16 @@ class PLBOps(ModelOps):
         # (§4.1.3).
         self.system.tlb.invalidate(vpn)
 
+    def rebuild_protection(self, pd_id: int | None = None) -> None:
+        # Every PLB entry refaults from the attachment tables, so the
+        # cheapest correct recovery is a flush; the TLB likewise refills
+        # from the global translation table.
+        if pd_id is None:
+            self.system.plb.purge_all()
+        else:
+            self.system.plb.purge_domain_range(pd_id, 0, 1 << 52)
+        self.system.tlb.purge()
+
 
 class PageGroupOps(ModelOps):
     """Page-group model: the PA-RISC column of Table 1."""
@@ -708,7 +787,9 @@ class PageGroupOps(ModelOps):
         domain.attachments[segment.seg_id] = rights
         if rights == Rights.NONE:
             return
+        self.kernel._verb_step("attached")
         entry = domain.grant_group(segment.aid, write_disable=not rights & Rights.WRITE)
+        self.kernel._verb_step("granted")
         if self.kernel.system.current_domain == domain.pd_id:
             self.system.groups.install(entry)
 
@@ -717,7 +798,9 @@ class PageGroupOps(ModelOps):
         # page-groups accessible to the current domain, and purge it
         # from the page-group cache" (Table 1).
         del domain.attachments[segment.seg_id]
+        self.kernel._verb_step("detached")
         domain.revoke_group(segment.aid)
+        self.kernel._verb_step("revoked")
         if self.kernel.system.current_domain == domain.pd_id:
             self.system.groups.drop(segment.aid)
 
@@ -767,6 +850,13 @@ class PageGroupOps(ModelOps):
     def invalidate_translation(self, vpn: int) -> None:
         self.system.tlb.invalidate(vpn)
 
+    def rebuild_protection(self, pd_id: int | None = None) -> None:
+        # The AID-tagged TLB refills from the group table via
+        # ``page_info``; the group holder reloads lazily (group miss ->
+        # ``domain_group_entry``) or eagerly at the next switch.
+        self.system.tlb.purge()
+        self.system.groups.clear()
+
 
 class ConventionalOps(ModelOps):
     """Conventional ASID-tagged model: the Section 3.1 baseline."""
@@ -787,6 +877,7 @@ class ConventionalOps(ModelOps):
         # The per-domain page table gains a (duplicated) entry for every
         # resident page of the segment — the §3.1 replication cost.
         domain.attachments[segment.seg_id] = rights
+        self.kernel._verb_step("attached")
         mirror = self._mirror(domain)
         for vpn in segment.vpns():
             pfn = self.kernel.translations.pfn_for(vpn)
@@ -797,9 +888,11 @@ class ConventionalOps(ModelOps):
     def detach(self, domain: ProtectionDomain, segment: VirtualSegment) -> None:
         del domain.attachments[segment.seg_id]
         domain.clear_overrides_in(segment.base_vpn, segment.end_vpn)
+        self.kernel._verb_step("detached")
         mirror = self._mirror(domain)
         for vpn in segment.vpns():
             mirror.unmap(vpn)
+        self.kernel._verb_step("mirror_cleared")
         self.system.tlb.invalidate_domain_range(
             self._asid(domain), segment.base_vpn, segment.end_vpn
         )
@@ -835,6 +928,31 @@ class ConventionalOps(ModelOps):
     def invalidate_translation(self, vpn: int) -> None:
         # Every domain's replica must go (§3.1's coherence burden).
         self.system.tlb.invalidate_page(vpn)
+
+    def rebuild_protection(self, pd_id: int | None = None) -> None:
+        # The combined TLB refills from the linear-table mirrors, so the
+        # mirrors themselves must be reconstructed from the attachment
+        # tables and the global translation table — the conventional
+        # model's recovery is linear in the attached pages, where the
+        # SASOS models just flush (the §3.1 duplication cost again).
+        self.system.tlb.purge()
+        kernel = self.kernel
+        domains = (
+            kernel.domains.values() if pd_id is None else [kernel.domains[pd_id]]
+        )
+        for domain in domains:
+            mirror = LinearPageTable(kernel.params)
+            kernel.linear_tables[domain.pd_id] = mirror
+            for seg_id, rights in domain.attachments.items():
+                segment = kernel.segments.get(seg_id)
+                if segment is None:
+                    continue
+                for vpn in segment.vpns():
+                    pfn = kernel.translations.pfn_for(vpn)
+                    if pfn is not None:
+                        mirror.map(
+                            vpn, pfn, domain.page_overrides.get(vpn, rights)
+                        )
 
     def on_populate(self, vpn: int, pfn: int) -> None:
         # Keep every attached domain's linear table in step — the

@@ -14,6 +14,14 @@ follow Table 1's compression-paging row:
 
 The pager optionally compresses page images (the Appel & Li compression
 paging workload is built directly on this class).
+
+The pager is also the OS layer's main consumer of the typed disk-fault
+hierarchy: transient I/O errors are retried with exponential backoff
+(``disk.retries`` / ``disk.backoff_slots`` counters), unrecoverable
+corruption degrades to a zero-filled page (``pager.data_loss``) rather
+than killing the machine, and every paging operation announces its
+mutation boundaries to the intent journal so a crash at any step can be
+rolled back (:mod:`repro.faults.journal`).
 """
 
 from __future__ import annotations
@@ -22,9 +30,26 @@ from dataclasses import dataclass
 
 from repro.core.mmu import PageFault, ProtectionFault
 from repro.core.rights import Rights
+from repro.faults.errors import (
+    CorruptPageError,
+    DiskError,
+    MissingPageError,
+    TransientDiskError,
+)
 from repro.hardware.backing import CompressedStore
 from repro.os.domain import ProtectionDomain
 from repro.os.kernel import Kernel
+
+#: Transient disk errors tolerated per operation before giving up.
+MAX_DISK_RETRIES = 3
+
+
+class PagerError(ValueError):
+    """A paging operation was invoked against the protocol.
+
+    Subclasses ``ValueError`` for compatibility with the seed contract
+    (misuse historically raised bare ``ValueError``).
+    """
 
 
 @dataclass
@@ -61,6 +86,9 @@ class UserLevelPager:
         self.domain: ProtectionDomain = kernel.create_domain(domain_name)
         self.store = CompressedStore(store=kernel.backing, stats=kernel.stats)
         self._evicted: dict[int, _EvictedState] = {}
+        #: Pages with a paging operation in flight — the re-entrancy
+        #: guard (a fault raised *inside* page_in must not recurse).
+        self._busy: set[int] = set()
         if kernel.model == "pagegroup":
             #: The server's private page-group: pages move here while a
             #: paging operation owns them.
@@ -72,29 +100,94 @@ class UserLevelPager:
         kernel.add_protection_handler(self._on_protection_fault)
 
     # ------------------------------------------------------------------ #
+    # Retried disk I/O
+
+    def _write_with_retry(self, vpn: int, data: bytes) -> None:
+        kernel = self.kernel
+        attempts = 0
+        while True:
+            try:
+                if self.compress:
+                    self.store.page_out(vpn, data)
+                else:
+                    kernel.backing.write(vpn, data)
+                if attempts:
+                    kernel.stats.inc("faults.recovered")
+                return
+            except TransientDiskError:
+                attempts += 1
+                kernel.stats.inc("disk.retries")
+                kernel.stats.inc("disk.backoff_slots", 1 << (attempts - 1))
+                if attempts > MAX_DISK_RETRIES:
+                    raise DiskError(
+                        f"write of page {vpn:#x} failed after {attempts} attempts"
+                    ) from None
+
+    def _read_with_retry(self, vpn: int) -> bytes:
+        kernel = self.kernel
+        attempts = 0
+        while True:
+            try:
+                if self.compress:
+                    data = self.store.page_in(vpn)
+                else:
+                    data = kernel.backing.read(vpn)
+                if attempts:
+                    kernel.stats.inc("faults.recovered")
+                return data
+            except MissingPageError:
+                raise
+            except (TransientDiskError, CorruptPageError) as err:
+                attempts += 1
+                kernel.stats.inc("disk.retries")
+                kernel.stats.inc("disk.backoff_slots", 1 << (attempts - 1))
+                if attempts > MAX_DISK_RETRIES:
+                    if isinstance(err, CorruptPageError):
+                        # The image is gone for good.  Trading the data
+                        # for a zero page keeps the machine alive; the
+                        # loss is visible in the counters.
+                        kernel.stats.inc("pager.data_loss")
+                        kernel.stats.inc("faults.recovered")
+                        return bytes(kernel.params.page_size)
+                    raise DiskError(
+                        f"read of page {vpn:#x} failed after {attempts} attempts"
+                    ) from None
+
+    # ------------------------------------------------------------------ #
     # Page-out
 
     def page_out(self, vpn: int) -> None:
         """Evict one page to backing store (Table 1 "Page-out")."""
         kernel = self.kernel
+        if vpn in self._busy:
+            raise PagerError(f"page {vpn:#x} has a paging operation in flight")
         if vpn in self._evicted:
-            raise ValueError(f"page {vpn:#x} is already paged out")
+            raise PagerError(f"page {vpn:#x} is already paged out")
         pfn = kernel.translations.pfn_for(vpn)
         if pfn is None:
-            raise ValueError(f"page {vpn:#x} is not resident")
-        with kernel.tracer.span("pager.page_out", vpn=vpn, compress=self.compress):
-            state = _EvictedState()
-            self._grab_exclusive(vpn, state)
-
-            data = kernel.memory.read_page(pfn) or bytes(kernel.params.page_size)
-            if self.compress:
-                self.store.page_out(vpn, data)
-            else:
-                kernel.backing.write(vpn, data)
-            kernel.free_page(vpn)
-            kernel.translations.mark_on_disk(vpn, True)
-            self._evicted[vpn] = state
-            kernel.stats.inc("pager.page_out")
+            raise PagerError(f"page {vpn:#x} is not resident")
+        self._busy.add(vpn)
+        try:
+            with kernel.tracer.span("pager.page_out", vpn=vpn, compress=self.compress):
+                state = _EvictedState()
+                self._grab_exclusive(vpn, state)
+                kernel._verb_step("protected")
+                data = kernel.memory.read_page(pfn) or bytes(kernel.params.page_size)
+                try:
+                    self._write_with_retry(vpn, data)
+                    kernel._verb_step("written")
+                except DiskError:
+                    # Nothing durable was written: give the clients their
+                    # rights back and leave the page resident.
+                    self._restore_access(vpn, state)
+                    raise
+                kernel.free_page(vpn)
+                kernel._verb_step("freed")
+                kernel.translations.mark_on_disk(vpn, True)
+                self._evicted[vpn] = state
+                kernel.stats.inc("pager.page_out")
+        finally:
+            self._busy.discard(vpn)
 
     def _grab_exclusive(self, vpn: int, state: _EvictedState) -> None:
         """Deny client access for the duration of the operation."""
@@ -119,20 +212,33 @@ class UserLevelPager:
     def page_in(self, vpn: int) -> None:
         """Bring one page back from backing store (Table 1 "Page-in")."""
         kernel = self.kernel
-        state = self._evicted.pop(vpn, None)
+        if vpn in self._busy:
+            raise PagerError(f"page {vpn:#x} has a paging operation in flight")
+        state = self._evicted.get(vpn)
         if state is None:
-            raise ValueError(f"page {vpn:#x} was not paged out by this server")
-        with kernel.tracer.span("pager.page_in", vpn=vpn, compress=self.compress):
-            pfn = kernel.populate_page(vpn)
-            if self.compress:
-                data = self.store.page_in(vpn)
-            else:
-                data = kernel.backing.read(vpn)
-            kernel.memory.write_page(pfn, data)
-            kernel.backing.discard(vpn)
-            kernel.translations.mark_on_disk(vpn, False)
-            self._restore_access(vpn, state)
-            kernel.stats.inc("pager.page_in")
+            raise PagerError(f"page {vpn:#x} was not paged out by this server")
+        self._busy.add(vpn)
+        try:
+            with kernel.tracer.span("pager.page_in", vpn=vpn, compress=self.compress):
+                pfn = kernel.populate_page(vpn)
+                kernel._verb_step("populated")
+                try:
+                    data = self._read_with_retry(vpn)
+                    kernel.memory.write_page(pfn, data)
+                    kernel._verb_step("read")
+                except Exception:
+                    # Unwind the populate so the page (and the eviction
+                    # record) are exactly as before the attempt.
+                    kernel.free_page(vpn)
+                    raise
+                kernel.backing.discard(vpn)
+                kernel.translations.mark_on_disk(vpn, False)
+                kernel._verb_step("cleared")
+                self._restore_access(vpn, state)
+                del self._evicted[vpn]
+                kernel.stats.inc("pager.page_in")
+        finally:
+            self._busy.discard(vpn)
 
     def _restore_access(self, vpn: int, state: _EvictedState) -> None:
         kernel = self.kernel
@@ -164,13 +270,25 @@ class UserLevelPager:
     # ------------------------------------------------------------------ #
     # Fault plumbing
 
-    def _on_page_fault(self, fault: PageFault) -> bool:
-        """Demand page-in for faults on pages this server evicted."""
-        vpn = self.kernel.params.vpn(fault.vaddr)
-        if vpn not in self._evicted:
+    def _fault_page_in(self, vpn: int) -> bool:
+        """Shared guard logic for both fault flavours."""
+        if vpn not in self._evicted or vpn in self._busy:
+            # Not ours, or a paging operation on this very page raised
+            # the fault — recursing into page_in would corrupt the
+            # in-flight operation's state.
+            return False
+        if self.kernel.segment_at(vpn) is None:
+            # The segment died after the eviction; drop the stale record
+            # instead of resurrecting a dead address.
+            del self._evicted[vpn]
+            self.kernel.stats.inc("pager.stale_eviction_dropped")
             return False
         self.page_in(vpn)
         return True
+
+    def _on_page_fault(self, fault: PageFault) -> bool:
+        """Demand page-in for faults on pages this server evicted."""
+        return self._fault_page_in(self.kernel.params.vpn(fault.vaddr))
 
     def _on_protection_fault(self, fault: ProtectionFault) -> bool:
         """Evicted pages fault as *protection* faults on the PLB system.
@@ -179,11 +297,7 @@ class UserLevelPager:
         set the clients' rights to none; the kernel recognizes the
         paged-out page from the fault and restores it (Section 4.1.3).
         """
-        vpn = self.kernel.params.vpn(fault.vaddr)
-        if vpn not in self._evicted:
-            return False
-        self.page_in(vpn)
-        return True
+        return self._fault_page_in(self.kernel.params.vpn(fault.vaddr))
 
     @property
     def evicted_pages(self) -> set[int]:

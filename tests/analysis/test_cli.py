@@ -160,3 +160,57 @@ class TestReplay:
         trace = tmp_path / "empty.trace"
         trace.write_text("# nothing\n")
         assert "no references" in cmd_replay(str(trace), "plb", 4)
+
+
+class TestChaosCommand:
+    def test_recoverable_plan_exits_zero(self, capsys):
+        assert main(["chaos", "fuzz", "--model", "plb", "--plan", "mixed",
+                     "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos fuzz seed=0: OK" in out
+        assert "faults.injected=" in out
+
+    def test_no_plan_exits_zero(self, capsys):
+        assert main(["chaos", "fuzz", "--model", "pagegroup", "--plan", "none",
+                     "--seed", "0"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_unrecoverable_plan_exits_one_with_dump(self, capsys):
+        import json
+
+        assert main(["chaos", "fuzz", "--model", "plb",
+                     "--plan", "unrecoverable", "--seed", "1"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "replayable repro dump:" in captured.out
+        dump = json.loads(captured.out.split("replayable repro dump:\n", 1)[1])
+        assert dump["plan"]["name"] == "unrecoverable"
+        assert dump["divergence"]["model"] == "plb"
+
+    def test_plan_file_replays_dump(self, tmp_path, capsys):
+        import json
+
+        main(["chaos", "fuzz", "--model", "plb",
+              "--plan", "unrecoverable", "--seed", "1"])
+        out = capsys.readouterr().out
+        dump_path = tmp_path / "repro.json"
+        dump_path.write_text(out.split("replayable repro dump:\n", 1)[1])
+        assert main(["chaos", "fuzz", "--model", "plb",
+                     "--plan", str(dump_path), "--seed", "1"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unknown_plan_exits_cleanly(self, capsys):
+        assert main(["chaos", "fuzz", "--plan", "gremlins", "--seed", "0"]) == 2
+        assert "unknown --plan" in capsys.readouterr().err
+
+    def test_unknown_scenario_exits_cleanly(self, capsys):
+        assert main(["chaos", "bogus", "--seed", "0"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestCrashRecoverCommand:
+    def test_single_model_sweep_exits_zero(self, capsys):
+        assert main(["crash-recover", "--models", "plb"]) == 0
+        out = capsys.readouterr().out
+        assert "crash-recover: OK" in out
+        assert "crash points" in out

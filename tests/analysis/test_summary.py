@@ -4,8 +4,14 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.summary import SummaryRow, render_summary, run_summary
+from repro.analysis.summary import (
+    SummaryRow,
+    recovery_counter_lines,
+    render_summary,
+    run_summary,
+)
 from repro.core.costs import CycleCosts
+from repro.sim.stats import Stats
 
 
 class TestRender:
@@ -25,6 +31,40 @@ class TestRender:
     def test_workload_names_present(self):
         text = render_summary(self.rows())
         assert "alpha" in text and "beta" in text
+
+    def test_fault_free_rows_render_without_recovery_footer(self):
+        assert "fault recovery" not in render_summary(self.rows())
+
+    def test_recovery_totals_render_when_nonzero(self):
+        rows = self.rows()
+        rows[0] = dataclasses.replace(
+            rows[0],
+            recovery={"plb": {"disk.retries": 2}, "pagegroup": {}},
+        )
+        rows[1] = dataclasses.replace(
+            rows[1], recovery={"plb": {"disk.retries": 1, "scrub.repairs": 3}}
+        )
+        text = render_summary(rows)
+        assert "fault recovery:" in text
+        assert "disk.retries=3" in text  # summed across workloads
+        assert "scrub.repairs=3" in text
+
+
+class TestRecoveryCounterLines:
+    def test_all_zero_means_no_lines_at_all(self):
+        # Fault-free runs must keep workload/profile output
+        # byte-identical to the seed.
+        assert recovery_counter_lines({"plb": Stats()}) == []
+
+    def test_only_nonzero_counters_named(self):
+        stats = Stats()
+        stats.inc("faults.injected", 4)
+        stats.inc("faults.recovered", 3)
+        lines = recovery_counter_lines({"plb": stats, "pagegroup": Stats()})
+        assert lines[0] == "fault recovery:"
+        assert "faults.injected=4" in lines[1]
+        assert "faults.recovered=3" in lines[1]
+        assert "disk.retries" not in lines[1]
 
 
 class TestRun:

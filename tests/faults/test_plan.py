@@ -1,0 +1,54 @@
+"""Fault plans: validation, serialization, and seeded determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import PRESETS, FaultEvent, FaultPlan
+
+
+class TestFaultEvent:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultEvent("ram", "bitrot", at=0)
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(ValueError, match="invalid for site"):
+            FaultEvent("disk", "mce", at=0)
+
+    def test_round_trip(self):
+        event = FaultEvent("shootdown", "delay", at=7, arg=3)
+        assert FaultEvent.from_dict(event.to_dict()) == event
+
+    def test_from_dict_defaults_arg(self):
+        event = FaultEvent.from_dict({"site": "disk", "kind": "bitrot", "at": 2})
+        assert event.arg == 1
+
+
+class TestFaultPlan:
+    def test_round_trip(self):
+        plan = FaultPlan.generate("mixed", seed=3, n_ops=64)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_generate_is_deterministic(self):
+        a = FaultPlan.generate("mixed", seed=5, n_ops=100)
+        b = FaultPlan.generate("mixed", seed=5, n_ops=100)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        plans = {FaultPlan.generate("mixed", seed=s, n_ops=100) for s in range(8)}
+        assert len(plans) > 1
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault preset"):
+            FaultPlan.generate("gamma-rays", seed=0)
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_every_preset_generates_valid_events(self, preset):
+        plan = FaultPlan.generate(preset, seed=0, n_ops=64)
+        assert plan.name == preset
+        assert plan.events  # constructing FaultEvent already validated them
+
+    def test_unrecoverable_preset_targets_authority(self):
+        plan = FaultPlan.generate("unrecoverable", seed=0, n_ops=64)
+        assert all(event.site == "authority" for event in plan.events)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.faults.errors import CorruptPageError, DiskError, MissingPageError
 from repro.hardware.backing import BackingStore, CompressedStore
 
 
@@ -15,8 +16,54 @@ class TestBackingStore:
         assert store.read(5) == b"page data"
 
     def test_read_missing_raises(self):
+        # MissingPageError subclasses KeyError, so pre-fault-model
+        # callers that caught KeyError still work.
+        with pytest.raises(MissingPageError):
+            BackingStore().read(9)
         with pytest.raises(KeyError):
             BackingStore().read(9)
+
+    def test_missing_page_error_is_a_typed_disk_error(self):
+        error = pytest.raises(DiskError, BackingStore().read, 9).value
+        assert "0x9" in str(error)
+        # KeyError's repr-quoting __str__ is overridden: the message
+        # must read as prose, not as a quoted key.
+        assert not str(error).startswith("'")
+
+    def test_torn_write_detected_on_read(self):
+        store = BackingStore()
+        store.write(5, b"intended image")
+        store._pages[5] = b"torn"  # disk stored something else
+        with pytest.raises(CorruptPageError):
+            store.read(5)
+
+    def test_bit_rot_detected_on_read(self):
+        store = BackingStore()
+        store.write(5, b"\x00" * 64)
+        store._pages[5] = b"\x00" * 32 + b"\x01" + b"\x00" * 31
+        with pytest.raises(CorruptPageError):
+            store.read(5)
+
+    def test_rewrite_clears_corruption(self):
+        store = BackingStore()
+        store.write(5, b"good")
+        store._pages[5] = b"rot!"
+        store.write(5, b"fresh")
+        assert store.read(5) == b"fresh"
+
+    def test_peek_returns_raw_image_without_accounting(self):
+        store = BackingStore()
+        assert store.peek(5) is None
+        store.write(5, b"image")
+        reads_before = store.stats["disk.read"]
+        assert store.peek(5) == b"image"
+        assert store.stats["disk.read"] == reads_before
+
+    def test_peek_skips_verification(self):
+        store = BackingStore()
+        store.write(5, b"good")
+        store._pages[5] = b"rot!"
+        assert store.peek(5) == b"rot!"  # journal sees the disk as-is
 
     def test_overwrite(self):
         store = BackingStore()

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.rights import Rights
 from repro.os.kernel import Kernel
-from repro.os.pager import UserLevelPager
+from repro.os.pager import PagerError, UserLevelPager
 from repro.sim.machine import Machine
 
 
@@ -134,3 +134,84 @@ class TestModelSpecificProtocol:
         pager.page_in(segment.base_vpn)
         assert kernel.stats["pager.page_out"] == 1
         assert kernel.stats["pager.page_in"] == 1
+
+
+class TestReentrancyAndIdempotence:
+    """The pager verbs are guarded: misuse is a typed error, never
+    silent corruption (the chaos harness leans on these guarantees)."""
+
+    @pytest.mark.parametrize("model", ["plb", "pagegroup", "conventional"])
+    def test_double_page_out_is_a_typed_error(self, model):
+        kernel, pager, domain, segment = paged_setup(model)
+        vpn = segment.base_vpn
+        pager.page_out(vpn)
+        with pytest.raises(PagerError, match="already paged out"):
+            pager.page_out(vpn)
+        # The eviction record survives the failed second attempt.
+        assert vpn in pager.evicted_pages
+        pager.page_in(vpn)
+        assert kernel.translations.is_resident(vpn)
+
+    @pytest.mark.parametrize("model", ["plb", "pagegroup", "conventional"])
+    def test_page_in_of_never_evicted_page_is_a_typed_error(self, model):
+        kernel, pager, domain, segment = paged_setup(model)
+        with pytest.raises(PagerError, match="not paged out by this server"):
+            pager.page_in(segment.base_vpn)
+        assert kernel.translations.is_resident(segment.base_vpn)
+
+    def test_page_out_of_nonresident_page_is_a_typed_error(self):
+        kernel, pager, domain, segment = paged_setup("plb")
+        vpn = segment.base_vpn
+        kernel.free_page(vpn)
+        with pytest.raises(PagerError, match="not resident"):
+            pager.page_out(vpn)
+
+    def test_in_flight_page_is_busy_to_both_verbs(self):
+        kernel, pager, domain, segment = paged_setup("plb")
+        vpn = segment.base_vpn
+        pager._busy.add(vpn)
+        try:
+            with pytest.raises(PagerError, match="in flight"):
+                pager.page_out(vpn)
+            with pytest.raises(PagerError, match="in flight"):
+                pager.page_in(vpn)
+        finally:
+            pager._busy.discard(vpn)
+
+    def test_fault_handler_does_not_recurse_into_busy_page(self):
+        # A fault raised *by* an in-flight paging operation must not
+        # re-enter page_in on the same page.
+        kernel, pager, domain, segment = paged_setup("plb")
+        vpn = segment.base_vpn
+        pager.page_out(vpn)
+        pager._busy.add(vpn)
+        try:
+            assert pager._fault_page_in(vpn) is False
+        finally:
+            pager._busy.discard(vpn)
+        # Once the operation is no longer in flight, the fault handler
+        # services the page normally.
+        assert pager._fault_page_in(vpn) is True
+        assert kernel.translations.is_resident(vpn)
+
+    def test_fault_on_dead_segment_drops_stale_eviction(self):
+        kernel, pager, domain, segment = paged_setup("plb")
+        vpn = segment.base_vpn
+        pager.page_out(vpn)
+        kernel.detach(domain, segment)
+        kernel.destroy_segment(segment)
+        assert pager._fault_page_in(vpn) is False
+        assert vpn not in pager.evicted_pages
+        assert kernel.stats["pager.stale_eviction_dropped"] == 1
+
+    def test_failed_attempt_leaves_eviction_state_intact(self):
+        kernel, pager, domain, segment = paged_setup("plb")
+        vpn = segment.base_vpn
+        kernel.set_page_rights(domain, vpn, Rights.READ)
+        pager.page_out(vpn)
+        state_before = pager._evicted[vpn]
+        with pytest.raises(PagerError):
+            pager.page_out(vpn)  # double page-out
+        assert pager._evicted[vpn] is state_before
+        pager.page_in(vpn)
+        assert domain.page_overrides[vpn] == Rights.READ

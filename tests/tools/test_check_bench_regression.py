@@ -13,7 +13,7 @@ from pathlib import Path
 TOOLS = Path(__file__).resolve().parents[2] / "tools"
 sys.path.insert(0, str(TOOLS))
 
-from check_bench_regression import THRESHOLD, check  # noqa: E402
+from check_bench_regression import THRESHOLD, check, main  # noqa: E402
 
 
 BASELINE = {
@@ -67,3 +67,62 @@ def test_improvement_never_fails():
 
 def test_zero_baseline_cell_does_not_divide_by_zero():
     assert check({"gc": {"plb": 7}}, {"gc": {"plb": 0}}) == []
+
+
+def test_null_baseline_cell_is_a_named_failure():
+    # A null cell used to silently PASS (falsy -> growth 0.0); it must
+    # fail by name instead of reading as "no regression".
+    failures = check({"gc": {"plb": 7}}, {"gc": {"plb": None}})
+    assert len(failures) == 1
+    assert "gc / plb" in failures[0]
+    assert "malformed" in failures[0]
+
+
+def test_non_integer_baseline_cell_is_a_named_failure():
+    failures = check({"gc": {"plb": 7}}, {"gc": {"plb": "500"}})
+    assert len(failures) == 1
+    assert "malformed" in failures[0]
+    assert "'500'" in failures[0]
+
+
+def test_bool_baseline_cell_is_a_named_failure():
+    failures = check({"gc": {"plb": 7}}, {"gc": {"plb": True}})
+    assert len(failures) == 1
+    assert "malformed" in failures[0]
+
+
+def test_non_dict_workload_entry_is_a_named_failure():
+    # Used to crash with AttributeError on .items().
+    failures = check({"gc": {"plb": 7}}, {"gc": [500]})
+    assert len(failures) == 1
+    assert failures[0].startswith("gc:")
+    assert "malformed" in failures[0]
+
+
+def test_malformed_entries_do_not_mask_other_cells():
+    baseline = {"gc": None, "attach": {"plb": 100}}
+    failures = check({"attach": {"plb": 200}}, baseline)
+    assert len(failures) == 2
+    assert any("gc" in line and "malformed" in line for line in failures)
+    assert any("attach / plb" in line and "+100.0%" in line for line in failures)
+
+
+def test_main_missing_baseline_exits_2(tmp_path, capsys):
+    # Baseline validation runs before the slow measurement, so these
+    # main()-level paths are cheap to pin.
+    assert main(["--baseline", str(tmp_path / "nope.json")]) == 2
+    assert "run with --update first" in capsys.readouterr().err
+
+
+def test_main_baseline_without_cycles_key_exits_1(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"threshold": 0.1}\n')
+    assert main(["--baseline", str(path)]) == 1
+    assert "no 'cycles' matrix" in capsys.readouterr().err
+
+
+def test_main_invalid_json_baseline_exits_1(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    path.write_text("{truncated")
+    assert main(["--baseline", str(path)]) == 1
+    assert "not valid JSON" in capsys.readouterr().err

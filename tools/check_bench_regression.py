@@ -46,10 +46,27 @@ def measure() -> dict[str, dict[str, int]]:
 
 
 def check(current: dict, baseline: dict) -> list[str]:
-    """Return one failure line per regressed or missing cell."""
+    """Return one failure line per regressed, missing, or malformed cell.
+
+    A malformed baseline cell (null, string, nested junk) is a hard
+    failure, not a pass: a truncated or hand-mangled baseline must not
+    read as "no regression".
+    """
     failures = []
     for workload, models in baseline.items():
+        if not isinstance(models, dict):
+            failures.append(
+                f"{workload}: malformed baseline entry {models!r} "
+                "(expected a model -> cycles mapping)"
+            )
+            continue
         for model, base_cycles in models.items():
+            if not isinstance(base_cycles, int) or isinstance(base_cycles, bool):
+                failures.append(
+                    f"{workload} / {model}: malformed baseline cell "
+                    f"{base_cycles!r} (expected an integer cycle count)"
+                )
+                continue
             now = current.get(workload, {}).get(model)
             if now is None:
                 failures.append(
@@ -75,8 +92,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     baseline_path = Path(args.baseline)
 
-    current = measure()
     if args.update:
+        current = measure()
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         with open(baseline_path, "w") as fp:
             json.dump({"threshold": THRESHOLD, "cycles": current}, fp,
@@ -85,15 +102,32 @@ def main(argv=None) -> int:
         print(f"baseline updated: {baseline_path}")
         return 0
 
+    # Validate the baseline *before* the (slow) measurement run so a
+    # broken file fails in milliseconds, not minutes.
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; run with --update first",
               file=sys.stderr)
         return 2
     with open(baseline_path) as fp:
-        baseline = json.load(fp)["cycles"]
+        try:
+            data = json.load(fp)
+        except json.JSONDecodeError as error:
+            print(f"bench regression: baseline {baseline_path} is not valid "
+                  f"JSON ({error}); run with --update to rebuild",
+                  file=sys.stderr)
+            return 1
+    baseline = data.get("cycles") if isinstance(data, dict) else None
+    if not isinstance(baseline, dict):
+        print(f"bench regression: baseline {baseline_path} has no 'cycles' "
+              "matrix; run with --update to rebuild", file=sys.stderr)
+        return 1
 
+    current = measure()
     failures = check(current, baseline)
-    cells = sum(len(models) for models in baseline.values())
+    cells = sum(
+        len(models) if isinstance(models, dict) else 1
+        for models in baseline.values()
+    )
     if failures:
         print(f"bench regression: {len(failures)} of {cells} cells regressed:")
         for line in failures:
