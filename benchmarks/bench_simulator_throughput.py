@@ -2,12 +2,21 @@
 
 Not a paper claim, but the practical question for users of this
 reproduction ("simulator easy though slow on large traces"): how fast
-does each memory system replay a reference stream?  Timed with
-pytest-benchmark over a pre-generated trace so only the simulation loop
-is measured.
+does each memory system replay a reference stream?  Three measurements:
+
+* the classic 5k-ref replay per model (pytest-benchmark timing);
+* fast path vs full path on a cache-resident working set — the replay
+  hot path (ARCHITECTURE.md §9), which also double-checks that both
+  modes produce byte-identical counters;
+* a 100k-ref sharded scaling sweep over ``Machine.run_sharded`` with
+  ``jobs`` in {1, 2, 4}, asserting the merged stats are identical for
+  every jobs value.
 """
 
 from __future__ import annotations
+
+import functools
+import time
 
 import pytest
 
@@ -19,17 +28,36 @@ from repro.sim.machine import Machine
 from repro.workloads.tracegen import RefPattern, TraceGenerator
 
 REFS = 5_000
+#: Hot-path configuration: 2 pages = 256 lines, resident in the default
+#: 16 KB / 512-line data cache, so almost every reference is a repeat hit.
+HOT_PAGES = 2
+#: Long enough that the memo warmup (two hits per line before a recipe
+#: is recorded) is amortized and the steady-state speedup shows.
+HOT_REFS = 60_000
+SCALE_REFS = 100_000
+SCALE_SHARDS = 4
+SCALE_JOBS = (1, 2, 4)
 
 
-def build(model: str):
+def build(model: str, *, pages: int = 32, fast: bool = True):
     kernel = Kernel(model)
-    machine = Machine(kernel)
+    machine = Machine(kernel, fast_path=fast)
     domain = kernel.create_domain("app")
-    segment = kernel.create_segment("data", 32)
+    segment = kernel.create_segment("data", pages)
     kernel.attach(domain, segment, Rights.RW)
     gen = TraceGenerator(99, kernel.params)
     refs = list(gen.refs(domain.pd_id, segment, REFS, RefPattern()))
     return machine, domain, refs
+
+
+def _shard_machine(model: str, pages: int) -> Machine:
+    """Module-level (picklable) factory for ``run_sharded`` workers."""
+    kernel = Kernel(model)
+    machine = Machine(kernel)
+    domain = kernel.create_domain("app")
+    segment = kernel.create_segment("data", pages)
+    kernel.attach(domain, segment, Rights.RW)
+    return machine
 
 
 @pytest.mark.parametrize("model", MODELS)
@@ -37,8 +65,7 @@ def test_replay_throughput(benchmark, model):
     machine, domain, refs = build(model)
 
     def replay():
-        for ref in refs:
-            machine.touch(domain, ref.vaddr, ref.access)
+        machine.run(refs)
 
     benchmark.pedantic(replay, rounds=3, iterations=1)
     stats = machine.stats
@@ -46,23 +73,89 @@ def test_replay_throughput(benchmark, model):
 
 
 def test_report_throughput(benchmark):
-    import time
+    """Fast path vs full path on the hot working set, per model."""
 
     def measure():
         rows = []
         for model in MODELS:
-            machine, domain, refs = build(model)
-            start = time.perf_counter()
-            for ref in refs:
-                machine.touch(domain, ref.vaddr, ref.access)
-            elapsed = time.perf_counter() - start
-            rows.append([model, REFS, f"{REFS / elapsed / 1000:.0f}k refs/s"])
+            timing = {}
+            counters = {}
+            for mode, fast in (("full", False), ("fast", True)):
+                kernel = Kernel(model)
+                machine = Machine(kernel, fast_path=fast)
+                domain = kernel.create_domain("app")
+                segment = kernel.create_segment("data", HOT_PAGES)
+                kernel.attach(domain, segment, Rights.RW)
+                refs = list(
+                    TraceGenerator(99, kernel.params).refs(
+                        domain.pd_id, segment, HOT_REFS, RefPattern()
+                    )
+                )
+                start = time.perf_counter()
+                machine.run(refs)
+                timing[mode] = time.perf_counter() - start
+                counters[mode] = kernel.stats.as_dict()
+            assert counters["full"] == counters["fast"], model
+            rows.append([
+                model,
+                f"{HOT_REFS / timing['full'] / 1000:.0f}k refs/s",
+                f"{HOT_REFS / timing['fast'] / 1000:.0f}k refs/s",
+                f"{timing['full'] / timing['fast']:.2f}x",
+            ])
         return rows
 
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)
     benchout.record(
-        "Simulator throughput (pure replay loop)",
-        format_table(["model", "refs", "throughput"], rows,
-                     title="Wall-clock simulation speed per memory system"),
+        "Simulator throughput (hot replay, fast vs full path)",
+        format_table(
+            ["model", "full path", "fast path", "speedup"], rows,
+            title="Wall-clock replay speed per memory system "
+            f"({HOT_REFS} refs, {HOT_PAGES}-page working set; "
+            "counters byte-identical in both modes)",
+        ),
     )
     assert len(rows) == 3
+
+
+def test_scaling_100k_jobs_sweep(benchmark):
+    """100k refs across shards: run_sharded merges deterministically."""
+    model = "plb"
+    kernel = Kernel(model)
+    machine = Machine(kernel)
+    domain = kernel.create_domain("app")
+    segment = kernel.create_segment("data", HOT_PAGES)
+    kernel.attach(domain, segment, Rights.RW)
+    trace = list(
+        TraceGenerator(99, kernel.params).refs(
+            domain.pd_id, segment, SCALE_REFS, RefPattern()
+        )
+    )
+    chunk = len(trace) // SCALE_SHARDS
+    shards = [trace[i : i + chunk] for i in range(0, len(trace), chunk)]
+    factory = functools.partial(_shard_machine, model, HOT_PAGES)
+
+    def sweep():
+        rows = []
+        merged_by_jobs = {}
+        for jobs in SCALE_JOBS:
+            start = time.perf_counter()
+            merged = machine.run_sharded(shards, jobs=jobs, factory=factory)
+            elapsed = time.perf_counter() - start
+            merged_by_jobs[jobs] = merged.as_dict()
+            rows.append([jobs, f"{SCALE_REFS / elapsed / 1000:.0f}k refs/s"])
+        return rows, merged_by_jobs
+
+    rows, merged_by_jobs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    first = merged_by_jobs[SCALE_JOBS[0]]
+    for jobs in SCALE_JOBS[1:]:
+        assert merged_by_jobs[jobs] == first, f"jobs={jobs} diverged"
+    assert first["refs"] == SCALE_REFS
+    benchout.record(
+        "Sharded replay scaling (100k refs, 4 shards)",
+        format_table(
+            ["jobs", "throughput"], rows,
+            title=f"Machine.run_sharded on {model}: {SCALE_REFS} refs in "
+            f"{SCALE_SHARDS} shards (merged stats identical for every "
+            "jobs value)",
+        ),
+    )

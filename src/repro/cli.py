@@ -8,6 +8,11 @@
 * ``entry-sizes`` — the §3.2.1/§4 bit-cost tables.
 * ``workload <name>`` — run one application class on one model and dump
   its stats (names: attach, gc, dsm, txn, checkpoint, compression, rpc).
+  ``--jobs N`` fans the models across worker processes.
+* ``bench`` — replay-throughput benchmark: full path vs the epoch-guarded
+  fast path, with ``--jobs`` sharding the trace across processes via
+  ``Machine.run_sharded``; also verifies the two modes' counters are
+  byte-identical.
 * ``trace <name>`` — run one application class on one model with the
   span tracer on and export the trace (Chrome ``trace_event`` by
   default; also JSONL and RunReport JSON).
@@ -160,6 +165,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--models", type=_parse_models, default=MODELS,
         help="comma-separated subset of: " + ",".join(MODELS),
     )
+    workload.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run each model's workload in its own process (N workers); "
+        "results are merged in model order, so output is identical to "
+        "--jobs 1",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="replay-throughput benchmark (fast path vs full path)"
+    )
+    bench.add_argument(
+        "--models", type=_parse_models, default=MODELS,
+        help="comma-separated subset of: " + ",".join(MODELS),
+    )
+    bench.add_argument(
+        "--refs", type=int, default=50_000,
+        help="references in the generated trace (default 50000)",
+    )
+    bench.add_argument(
+        "--pages", type=int, default=4,
+        help="segment pages: small keeps the working set cache-resident "
+        "(the replay hot path); large thrashes it (default 4)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=99, help="trace generator seed"
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="split the trace into N shards replayed on fresh kernels "
+        "across N processes (Machine.run_sharded); stats are merged "
+        "deterministically",
+    )
 
     trace = sub.add_parser(
         "trace", help="run one application class traced and export spans"
@@ -279,13 +316,48 @@ def cmd_entry_sizes() -> str:
     )
 
 
-def cmd_workload(name: str, models: Sequence[str]) -> str:
+def _workload_worker(payload: tuple[str, str]):
+    """Run one (workload, model) cell in a worker process.
+
+    Returns plain picklable pieces (title, counter dict, summary) that the
+    parent reassembles into a :class:`Table1Result` in model order, so
+    parallel output is byte-identical to the sequential run.
+    """
+    name, model = payload
+    if name == "dsm":
+        result = run_dsm(models=(model,))
+    else:
+        result = WORKLOADS[name](models=(model,))
+    return (
+        model,
+        result.title,
+        result.stats_by_model[model].as_dict(),
+        result.summary_by_model[model],
+    )
+
+
+def cmd_workload(name: str, models: Sequence[str], jobs: int = 1) -> str:
     if name != "dsm" and name not in WORKLOADS:
         raise CLIError(
             f"unknown workload {name!r}; choose from: "
             + ", ".join(sorted(WORKLOADS) + ["dsm"])
         )
-    if name == "dsm":
+    if jobs < 1:
+        raise CLIError("--jobs must be >= 1")
+    if jobs > 1 and len(models) > 1:
+        import multiprocessing
+
+        from repro.analysis.table1 import Table1Result
+        from repro.sim.stats import Stats
+
+        with multiprocessing.get_context().Pool(min(jobs, len(models))) as pool:
+            cells = pool.map(_workload_worker, [(name, model) for model in models])
+        result = Table1Result(
+            cells[0][1],
+            {model: Stats(counts) for model, _, counts, _ in cells},
+            {model: summary for model, _, _, summary in cells},
+        )
+    elif name == "dsm":
         result = run_dsm(models=models)
     else:
         result = WORKLOADS[name](models=models)
@@ -305,6 +377,81 @@ def cmd_workload(name: str, models: Sequence[str]) -> str:
         for row in summary_rows:
             lines.append("  " + "  ".join(str(cell) for cell in row))
     return "\n".join(lines)
+
+
+def _bench_setup(model: str, pages: int, fast: bool):
+    """One bench kernel: a single domain with one RW segment."""
+    from repro.core.rights import Rights
+
+    kernel = Kernel(model)
+    machine = Machine(kernel, fast_path=fast)
+    domain = kernel.create_domain("bench")
+    segment = kernel.create_segment("bench-data", pages)
+    kernel.attach(domain, segment, Rights.RW)
+    return machine, domain, segment
+
+
+def _bench_machine(model: str, pages: int, fast: bool) -> Machine:
+    """Shard-worker factory (module-level: picklable via
+    ``functools.partial`` for :meth:`Machine.run_sharded` workers).
+
+    Rebuilds exactly the :func:`_bench_setup` kernel, so the deterministic
+    pd_id in a recorded trace resolves to the same domain in any worker.
+    """
+    return _bench_setup(model, pages, fast)[0]
+
+
+def cmd_bench(
+    models: Sequence[str], refs: int, pages: int, seed: int, jobs: int
+) -> str:
+    """Replay throughput, full path vs fast path, optionally sharded.
+
+    Both modes replay the *same* shards through identically built
+    kernels, so their merged counters must be byte-identical — the bench
+    doubles as a live equivalence check.
+    """
+    import functools
+    import time
+
+    from repro.workloads.tracegen import TraceGenerator
+
+    if refs < 1 or pages < 1 or jobs < 1:
+        raise CLIError("--refs, --pages and --jobs must all be >= 1")
+    rows = []
+    for model in models:
+        probe, domain, segment = _bench_setup(model, pages, True)
+        kernel = probe.kernel
+        trace = list(
+            TraceGenerator(seed, kernel.params).refs(domain.pd_id, segment, refs)
+        )
+        chunk = (len(trace) + jobs - 1) // jobs
+        shards = [trace[i : i + chunk] for i in range(0, len(trace), chunk)]
+        timing = {}
+        stats = {}
+        for mode, fast in (("full", False), ("fast", True)):
+            factory = functools.partial(_bench_machine, model, pages, fast)
+            start = time.perf_counter()
+            merged = probe.run_sharded(shards, jobs=jobs, factory=factory)
+            timing[mode] = time.perf_counter() - start
+            stats[mode] = merged.as_dict()
+        rows.append([
+            model,
+            f"{refs / timing['full'] / 1000:.0f}k/s",
+            f"{refs / timing['fast'] / 1000:.0f}k/s",
+            f"{timing['full'] / timing['fast']:.2f}x",
+            "yes" if stats["full"] == stats["fast"] else "NO",
+        ])
+    from repro.analysis.report import format_table
+
+    table = format_table(
+        ["model", "full path", "fast path", "speedup", "stats identical"],
+        rows,
+        title=f"Replay throughput: {refs} refs, {pages} pages, "
+        f"seed {seed}, jobs {jobs}",
+    )
+    if any(row[-1] == "NO" for row in rows):
+        raise CLIError("fast path diverged from full path\n" + table)
+    return table
 
 
 def _run_traced(name: str, model: str, *, sample_every: int = 1):
@@ -652,7 +799,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print("\n" + banner + "\nCross-workload summary\n" + banner)
         print(render_summary(run_summary(models=args.models)))
     elif args.command == "workload":
-        print(cmd_workload(args.name, args.models))
+        print(cmd_workload(args.name, args.models, args.jobs))
+    elif args.command == "bench":
+        print(cmd_bench(args.models, args.refs, args.pages, args.seed, args.jobs))
     elif args.command == "trace":
         print(cmd_trace(args.name, args.model, args.out, args.format, args.sample))
     elif args.command == "profile":

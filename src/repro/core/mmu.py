@@ -61,7 +61,13 @@ class FaultReason(enum.Enum):
 
 
 class ProtectionFault(Exception):
-    """A reference violated protection; delivered to the kernel."""
+    """A reference violated protection; delivered to the kernel.
+
+    The message is formatted lazily in :meth:`__str__`: the exception-free
+    access protocol *returns* fault objects from ``access_fast``, so
+    construction sits on the reference path and must not pay for string
+    formatting that only a report or a test assertion will ever read.
+    """
 
     def __init__(
         self,
@@ -71,25 +77,37 @@ class ProtectionFault(Exception):
         reason: FaultReason,
         rights: Rights = Rights.NONE,
     ) -> None:
-        super().__init__(
-            f"protection fault: domain {pd_id} {access.value} at {vaddr:#x} "
-            f"({reason.value}, rights={rights.describe()})"
-        )
         self.pd_id = pd_id
         self.vaddr = vaddr
         self.access = access
         self.reason = reason
         self.rights = rights
 
+    def __str__(self) -> str:
+        return (
+            f"protection fault: domain {self.pd_id} {self.access.value} "
+            f"at {self.vaddr:#x} ({self.reason.value}, "
+            f"rights={self.rights.describe()})"
+        )
+
 
 class PageFault(Exception):
-    """No resident translation for the page; the pager must supply one."""
+    """No resident translation for the page; the pager must supply one.
+
+    Message formatting is deferred to :meth:`__str__` (see
+    :class:`ProtectionFault`).
+    """
 
     def __init__(self, vaddr: int, pd_id: int, access: AccessType) -> None:
-        super().__init__(f"page fault at {vaddr:#x} (domain {pd_id}, {access.value})")
         self.vaddr = vaddr
         self.pd_id = pd_id
         self.access = access
+
+    def __str__(self) -> str:
+        return (
+            f"page fault at {self.vaddr:#x} "
+            f"(domain {self.pd_id}, {self.access.value})"
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -183,6 +201,113 @@ class AccessResult:
 
 
 # --------------------------------------------------------------------- #
+# Hot-path replay recipes
+
+
+class HotRecipe:
+    """A replayable summary of one repeat-hit reference.
+
+    Built by a model's :meth:`MemorySystem.hot_recipe` right after a
+    reference completed as a pure hit (every structure resident, no
+    refill, no fault).  A recipe pins the exact ``(set-dict, key, entry)``
+    locations the hit resolved to; :meth:`apply` revalidates them with
+    identity checks and then replays the hit's side effects directly:
+    the LRU ``move_to_end`` touches, referenced/dirty bits, and a fixed
+    counter batch (merged by the caller via ``Stats.inc_many``).
+
+    Identity checks — not mere residency — are required: a refill after
+    an eviction creates a *new* entry object with reset dirty/referenced
+    bits, and an in-place value swap (``AssocCache.update``) likewise
+    replaces the object.  Mutations that keep the object identity (rights
+    rewritten on a live TLB entry, injected corruption) are covered by
+    the kernel's mutation epoch, which clears the whole memo (see
+    :mod:`repro.sim.machine`).
+
+    ``result`` is one reused :class:`AccessResult`; when ``paddr_page``
+    is set, :meth:`apply` rewrites ``result.paddr`` in place for the
+    referenced address.  Callers must treat the returned object as
+    borrowed until the next apply.
+    """
+
+    __slots__ = (
+        "guards",
+        "touch_guards",
+        "guard_steps",
+        "extra_guard",
+        "ref_entries",
+        "dirty_entries",
+        "counts",
+        "counts_items",
+        "result",
+        "paddr_page",
+        "offset_mask",
+    )
+
+    def __init__(
+        self,
+        guards,
+        counts,
+        result,
+        *,
+        touch_guards=None,
+        ref_entries=(),
+        dirty_entries=(),
+        extra_guard=None,
+        paddr_page=None,
+        offset_mask=0,
+    ) -> None:
+        self.guards = guards
+        #: Guards whose set is associative (> 1 way): only those need the
+        #: LRU ``move_to_end`` on replay; a direct-mapped set has no
+        #: replacement order to maintain.
+        self.touch_guards = guards if touch_guards is None else touch_guards
+        #: Check + touch fused into one pass: ``(set, key, entry, touch)``.
+        #: Touching as each guard passes is safe even if a *later* guard
+        #: fails — the slow-path fallback re-hits the already-validated
+        #: structures and performs the same ``move_to_end``, so the final
+        #: LRU order (and every counter) is unchanged.
+        touch_set = set(map(id, self.touch_guards))
+        self.guard_steps = tuple(
+            guard + (id(guard) in touch_set,) for guard in guards
+        )
+        self.counts = counts
+        #: The same batch as an items tuple, so the replay loop skips the
+        #: per-hit ``dict.items()`` view construction.
+        self.counts_items = tuple(counts.items())
+        self.result = result
+        self.ref_entries = ref_entries
+        self.dirty_entries = dirty_entries
+        self.extra_guard = extra_guard
+        self.paddr_page = paddr_page
+        self.offset_mask = offset_mask
+
+    def apply(self, vaddr: int) -> AccessResult | None:
+        """Replay the hit for ``vaddr``; None when a guard fails.
+
+        Guards are checked and LRU-touched in one fused pass (see
+        ``guard_steps``); a failure mid-pass leaves only touches that the
+        slow-path fallback would repeat anyway, so callers that retry via
+        the full access path still converge to identical machine state.
+        """
+        for odict, key, obj, do_touch in self.guard_steps:
+            if odict.get(key) is not obj:
+                return None
+            if do_touch:
+                odict.move_to_end(key)
+        extra = self.extra_guard
+        if extra is not None and not extra():
+            return None
+        for entry in self.ref_entries:
+            entry.referenced = True
+        for entry in self.dirty_entries:
+            entry.dirty = True
+        result = self.result
+        if self.paddr_page is not None:
+            result.paddr = self.paddr_page | (vaddr & self.offset_mask)
+        return result
+
+
+# --------------------------------------------------------------------- #
 # Base machinery
 
 
@@ -214,12 +339,12 @@ class MemorySystem:
             detect_hazards=detect_hazards,
             stats=self.stats,
         )
-        # Bind the reference path once: `access` is an instance attribute
-        # pointing straight at the model's `_access` implementation, so
-        # the untraced hot loop pays no tracing check at all (and skips
-        # the per-call bound-method creation besides).  attach_tracer
-        # swaps in the traced wrapper.
-        self.access = self._access
+        # Bind the reference path once: `access_fast` is an instance
+        # attribute pointing straight at the model's `_access_fast`
+        # implementation, so the untraced hot loop pays no tracing check
+        # at all (and skips the per-call bound-method creation besides).
+        # attach_tracer swaps in the traced wrapper.
+        self.access_fast = self._access_fast
 
     @property
     def current_domain(self) -> int:
@@ -234,25 +359,51 @@ class MemorySystem:
         """
         self.tracer = tracer
         if not tracer.active:
-            self.access = self._access
+            self.access_fast = self._access_fast
             return
-        impl = self._access
+        impl = self._access_fast
         open_span = tracer.span
         model = self.model_name
 
-        def traced_access(vaddr: int, access: AccessType) -> AccessResult:
+        def traced_access_fast(vaddr: int, access: AccessType):
             with open_span("mem.access", sample=True, model=model, vaddr=vaddr):
                 return impl(vaddr, access)
 
-        self.access = traced_access
+        self.access_fast = traced_access_fast
 
     def access(self, vaddr: int, access: AccessType) -> AccessResult:
-        # Class-level fallback; __init__ shadows it with the bound
-        # implementation (or the traced wrapper).
-        return self._access(vaddr, access)
+        """Run one reference, raising on faults.
 
-    def _access(self, vaddr: int, access: AccessType) -> AccessResult:
+        The raising wrapper over :meth:`access_fast`: fault objects come
+        back as return values from the fast protocol and only enter the
+        exception machinery here, for callers that want it.
+        """
+        result = self.access_fast(vaddr, access)
+        if result.__class__ is AccessResult:
+            return result
+        raise result
+
+    def _access_fast(
+        self, vaddr: int, access: AccessType
+    ) -> AccessResult | ProtectionFault | PageFault:
+        """Run one reference, *returning* faults instead of raising.
+
+        The exception-free access protocol: the common case (no fault)
+        never touches exception machinery, and the caller dispatches on
+        the returned object's class.
+        """
         raise NotImplementedError
+
+    def hot_recipe(self, vaddr: int, access: AccessType) -> HotRecipe | None:
+        """A :class:`HotRecipe` replaying this reference's hit, if eligible.
+
+        Called by the replay fast path after a reference completed as a
+        pure hit.  Models return None whenever replaying the hit by
+        recipe could diverge from the real access path (hazard detection
+        enabled, structure disabled, hit served off the primary probe
+        level, ...).
+        """
+        return None
 
     def switch_domain(self, pd_id: int) -> None:
         raise NotImplementedError
@@ -336,9 +487,13 @@ class PLBSystem(MemorySystem):
                 stats=self.stats,
                 name="l2cache",
             )
+        self._inc_refs = self.stats.counter("refs")
+        self._inc_off_chip = self.stats.counter("tlb.off_chip_access")
 
-    def _access(self, vaddr: int, access: AccessType) -> AccessResult:
-        self.stats.inc("refs")
+    def _access_fast(
+        self, vaddr: int, access: AccessType
+    ) -> AccessResult | ProtectionFault | PageFault:
+        self._inc_refs()
         pd_id = self.current_domain
         vpn = self.params.vpn(vaddr)
 
@@ -347,12 +502,12 @@ class PLBSystem(MemorySystem):
         if rights is None:
             info = self.protection.rights_for(pd_id, vpn)
             if info is None:
-                raise ProtectionFault(pd_id, vaddr, access, FaultReason.UNATTACHED)
+                return ProtectionFault(pd_id, vaddr, access, FaultReason.UNATTACHED)
             self.plb.fill(pd_id, vaddr, info.rights, level=info.level)
             rights = info.rights
             protection_refill = True
         if not rights.allows(access):
-            raise ProtectionFault(pd_id, vaddr, access, FaultReason.DENIED, rights)
+            return ProtectionFault(pd_id, vaddr, access, FaultReason.DENIED, rights)
 
         refill = False
         resolved: int | None = None
@@ -361,7 +516,7 @@ class PLBSystem(MemorySystem):
             nonlocal refill, resolved
             if resolved is not None:
                 return resolved
-            self.stats.inc("tlb.off_chip_access")
+            self._inc_off_chip()
             entry = self.tlb.lookup(vpn)
             if entry is None:
                 info = self.translation.translation_for(vpn)
@@ -377,26 +532,76 @@ class PLBSystem(MemorySystem):
             )
             return resolved
 
-        outcome = self.dcache.access(vaddr, translate, write=access.is_write, asid=pd_id)
-        if self.l2 is not None:
-            if not outcome.hit:
-                # The missing line is fetched through the L2 first; the
-                # TLB at the L2 controller already resolved the address
-                # above.  The fetch must probe before the victim installs:
-                # a victim mapping to the same L2 set could otherwise
-                # evict the very line about to be fetched.
-                fetch_paddr = translate()
-                self.l2.access(fetch_paddr, lambda: fetch_paddr)
-            if outcome.victim_paddr_line is not None:
-                # The L1's dirty victim lands in the L2 (write-allocate).
-                victim_paddr = outcome.victim_paddr_line << self.params.line_offset_bits
-                self.l2.access(victim_paddr, lambda: victim_paddr, write=True)
+        # ``translate`` is invoked lazily inside the cache, so a missing
+        # translation still surfaces as an exception mid-access; it is
+        # converted to the return-value protocol here.  The common case
+        # (no page fault) sets up the try block but never unwinds it.
+        try:
+            outcome = self.dcache.access(
+                vaddr, translate, write=access.is_write, asid=pd_id
+            )
+            if self.l2 is not None:
+                if not outcome.hit:
+                    # The missing line is fetched through the L2 first; the
+                    # TLB at the L2 controller already resolved the address
+                    # above.  The fetch must probe before the victim installs:
+                    # a victim mapping to the same L2 set could otherwise
+                    # evict the very line about to be fetched.
+                    fetch_paddr = translate()
+                    self.l2.access(fetch_paddr, lambda: fetch_paddr)
+                if outcome.victim_paddr_line is not None:
+                    # The L1's dirty victim lands in the L2 (write-allocate).
+                    victim_paddr = (
+                        outcome.victim_paddr_line << self.params.line_offset_bits
+                    )
+                    self.l2.access(victim_paddr, lambda: victim_paddr, write=True)
+        except PageFault as fault:
+            return fault
         return AccessResult(
             cache_hit=outcome.hit,
             protection_refill=protection_refill,
             translation_refill=refill,
             translated=outcome.translated,
             paddr=resolved,
+        )
+
+    def hot_recipe(self, vaddr: int, access: AccessType) -> HotRecipe | None:
+        """Pin the pure VIVT hit: PLB entry + L1 line, nothing else runs.
+
+        Eligible only when a repeat hit provably touches just those two
+        structures: the data cache must be virtually tagged (otherwise
+        ``translate`` runs per reference and the TLB would go untouched
+        and uncounted by the recipe) with hazard detection off, and the
+        PLB hit must come from the first probed level (see
+        :meth:`~repro.core.plb.ProtectionLookasideBuffer.pin`).  The L2
+        is irrelevant: it is only consulted on L1 misses.
+        """
+        dcache = self.dcache
+        if dcache.detect_hazards or not dcache.org.virtually_tagged:
+            return None
+        pd_id = self.current_domain
+        pinned_plb = self.plb.pin(pd_id, vaddr)
+        if pinned_plb is None:
+            return None
+        plb_set, plb_key, plb_entry = pinned_plb
+        if not plb_entry.rights.allows(access):
+            return None
+        pinned_line = dcache.pin_line(vaddr, None, pd_id)
+        if pinned_line is None:
+            return None
+        line_set, line_key, line = pinned_line
+        guards = ((plb_set, plb_key, plb_entry), (line_set, line_key, line))
+        touch = []
+        if self.plb.ways > 1:
+            touch.append(guards[0])
+        if dcache.ways > 1:
+            touch.append(guards[1])
+        return HotRecipe(
+            guards=guards,
+            touch_guards=tuple(touch),
+            counts={"refs": 1, "plb.hit": 1, f"{dcache.name}.hit": 1},
+            result=AccessResult(cache_hit=True),
+            dirty_entries=(line,) if access.is_write else (),
         )
 
     def switch_domain(self, pd_id: int) -> None:
@@ -459,9 +664,12 @@ class PageGroupSystem(MemorySystem):
             self.groups = PIDRegisterFile(group_capacity, stats=self.stats)
         else:
             raise ValueError(f"unknown group holder {group_holder!r}")
+        self._inc_refs = self.stats.counter("refs")
 
-    def _access(self, vaddr: int, access: AccessType) -> AccessResult:
-        self.stats.inc("refs")
+    def _access_fast(
+        self, vaddr: int, access: AccessType
+    ) -> AccessResult | ProtectionFault | PageFault:
+        self._inc_refs()
         pd_id = self.current_domain
         vpn = self.params.vpn(vaddr)
 
@@ -470,7 +678,7 @@ class PageGroupSystem(MemorySystem):
         if entry is None:
             info = self.source.page_info(vpn)
             if info is None:
-                raise PageFault(vaddr, pd_id, access)
+                return PageFault(vaddr, pd_id, access)
             pfn, rights, aid = info
             entry = self.tlb.fill(vpn, pfn, rights, aid)
             refill = True
@@ -482,14 +690,14 @@ class PageGroupSystem(MemorySystem):
             # group and reloads the holder, or raises a real fault.
             pid_entry = self.source.domain_group_entry(pd_id, entry.aid)
             if pid_entry is None:
-                raise ProtectionFault(pd_id, vaddr, access, FaultReason.UNATTACHED)
+                return ProtectionFault(pd_id, vaddr, access, FaultReason.UNATTACHED)
             self.stats.inc("group_reload")
             self._install_group(pid_entry)
             group_refill = True
             decision = check_group_access(entry.aid, entry.rights, access, self.groups)
             assert decision.group_hit
         if not decision.allowed:
-            raise ProtectionFault(
+            return ProtectionFault(
                 pd_id, vaddr, access, FaultReason.DENIED, decision.effective_rights
             )
 
@@ -504,6 +712,83 @@ class PageGroupSystem(MemorySystem):
             translation_refill=refill,
             translated=outcome.translated,
             paddr=paddr,
+        )
+
+    def hot_recipe(self, vaddr: int, access: AccessType) -> HotRecipe | None:
+        """Pin the AID-checked hit: TLB entry, group holding, cache line.
+
+        The group check replays differently per holder: a resident
+        :class:`PageGroupCache` entry is an LRU hit (guarded + touched +
+        counted), the global group 0 is an unconditional match (counted
+        only, for the cache holder), and a :class:`PIDRegisterFile` slot
+        has neither LRU nor counters — it is revalidated by re-running
+        the scan as an extra guard.
+        """
+        dcache = self.dcache
+        if dcache.detect_hazards:
+            return None
+        pd_id = self.current_domain
+        vpn = self.params.vpn(vaddr)
+        pinned_tlb = self.tlb.pin(vpn)
+        if pinned_tlb is None:
+            return None
+        tlb_set, tlb_key, entry = pinned_tlb
+        guards = [(tlb_set, tlb_key, entry)]
+        touch = list(guards) if self.tlb.ways > 1 else []
+        counts = {"refs": 1, "pgtlb.hit": 1, f"{dcache.name}.hit": 1}
+        extra_guard = None
+        holder = self.groups
+        if entry.aid == GLOBAL_PAGE_GROUP:
+            # Group 0 matches unconditionally; only the cache holder
+            # accounts the match.
+            if isinstance(holder, PageGroupCache):
+                counts[f"{holder.name}.global_hit"] = 1
+            effective = entry.rights
+        elif isinstance(holder, PageGroupCache):
+            pinned_group = holder.pin(entry.aid)
+            if pinned_group is None:
+                return None
+            group_set, group_key, pid_entry = pinned_group
+            guards.append((group_set, group_key, pid_entry))
+            if holder.ways > 1:
+                touch.append(guards[-1])
+            counts[f"{holder.name}.hit"] = 1
+            effective = (
+                entry.rights.without_write() if pid_entry.write_disable else entry.rights
+            )
+        else:
+            pid_entry = holder.find(entry.aid)
+            if pid_entry is None:
+                return None
+            aid = entry.aid
+            extra_guard = lambda: holder.find(aid) is pid_entry  # noqa: E731
+            effective = (
+                entry.rights.without_write() if pid_entry.write_disable else entry.rights
+            )
+        if not effective.allows(access):
+            return None
+        paddr = self.params.vaddr(entry.pfn, self.params.page_offset(vaddr))
+        pinned_line = dcache.pin_line(vaddr, paddr, pd_id)
+        if pinned_line is None:
+            return None
+        line_set, line_key, line = pinned_line
+        guards.append((line_set, line_key, line))
+        if dcache.ways > 1:
+            touch.append(guards[-1])
+        return HotRecipe(
+            guards=tuple(guards),
+            touch_guards=tuple(touch),
+            counts=counts,
+            result=AccessResult(
+                cache_hit=True,
+                translated=not dcache.org.virtually_tagged,
+                paddr=paddr,
+            ),
+            ref_entries=(entry,),
+            dirty_entries=(entry, line) if access.is_write else (),
+            extra_guard=extra_guard,
+            paddr_page=self.params.vaddr(entry.pfn, 0),
+            offset_mask=self.params.page_size - 1,
         )
 
     def _install_group(self, entry: PIDEntry) -> None:
@@ -560,9 +845,12 @@ class ConventionalSystem(MemorySystem):
         self.source = source
         self.asid_tagged = asid_tagged
         self.tlb = ASIDTaggedTLB(tlb_entries, tlb_ways, stats=self.stats)
+        self._inc_refs = self.stats.counter("refs")
 
-    def _access(self, vaddr: int, access: AccessType) -> AccessResult:
-        self.stats.inc("refs")
+    def _access_fast(
+        self, vaddr: int, access: AccessType
+    ) -> AccessResult | ProtectionFault | PageFault:
+        self._inc_refs()
         pd_id = self.current_domain
         vpn = self.params.vpn(vaddr)
         asid = pd_id if self.asid_tagged else 0
@@ -573,13 +861,13 @@ class ConventionalSystem(MemorySystem):
             mapping = self.source.domain_page(pd_id, vpn)
             if mapping is None:
                 if self.source.page_resident(vpn):
-                    raise ProtectionFault(pd_id, vaddr, access, FaultReason.UNATTACHED)
-                raise PageFault(vaddr, pd_id, access)
+                    return ProtectionFault(pd_id, vaddr, access, FaultReason.UNATTACHED)
+                return PageFault(vaddr, pd_id, access)
             pfn, rights = mapping
             entry = self.tlb.fill(asid, vpn, pfn, rights)
             refill = True
         if not entry.rights.allows(access):
-            raise ProtectionFault(pd_id, vaddr, access, FaultReason.DENIED, entry.rights)
+            return ProtectionFault(pd_id, vaddr, access, FaultReason.DENIED, entry.rights)
 
         entry.referenced = True
         if access.is_write:
@@ -591,6 +879,46 @@ class ConventionalSystem(MemorySystem):
             translation_refill=refill,
             translated=outcome.translated,
             paddr=paddr,
+        )
+
+    def hot_recipe(self, vaddr: int, access: AccessType) -> HotRecipe | None:
+        """Pin the combined-TLB hit: one TLB entry plus the cache line."""
+        dcache = self.dcache
+        if dcache.detect_hazards:
+            return None
+        pd_id = self.current_domain
+        vpn = self.params.vpn(vaddr)
+        asid = pd_id if self.asid_tagged else 0
+        pinned_tlb = self.tlb.pin(asid, vpn)
+        if pinned_tlb is None:
+            return None
+        tlb_set, tlb_key, entry = pinned_tlb
+        if not entry.rights.allows(access):
+            return None
+        paddr = self.params.vaddr(entry.pfn, self.params.page_offset(vaddr))
+        pinned_line = dcache.pin_line(vaddr, paddr, asid)
+        if pinned_line is None:
+            return None
+        line_set, line_key, line = pinned_line
+        guards = ((tlb_set, tlb_key, entry), (line_set, line_key, line))
+        touch = []
+        if self.tlb.ways > 1:
+            touch.append(guards[0])
+        if dcache.ways > 1:
+            touch.append(guards[1])
+        return HotRecipe(
+            guards=guards,
+            touch_guards=tuple(touch),
+            counts={"refs": 1, "asidtlb.hit": 1, f"{dcache.name}.hit": 1},
+            result=AccessResult(
+                cache_hit=True,
+                translated=not dcache.org.virtually_tagged,
+                paddr=paddr,
+            ),
+            ref_entries=(entry,),
+            dirty_entries=(entry, line) if access.is_write else (),
+            paddr_page=self.params.vaddr(entry.pfn, 0),
+            offset_mask=self.params.page_size - 1,
         )
 
     def switch_domain(self, pd_id: int) -> None:

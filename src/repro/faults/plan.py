@@ -482,6 +482,10 @@ class FaultInjector:
 
     def _record(self, event: FaultEvent, **attrs) -> None:
         kernel = self.kernel
+        # Injected corruption can rewrite a live entry in place (same
+        # object, changed rights/AID), which the replay memo's identity
+        # guards cannot see — invalidate it wholesale.
+        kernel.bump_epoch()
         kernel.stats.inc("faults.injected")
         kernel.stats.inc(f"faults.injected.{event.site}.{event.kind}")
         if kernel.tracer.active:

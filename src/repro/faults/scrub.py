@@ -47,6 +47,9 @@ class Scrubber:
             else:  # pragma: no cover - no other systems exist
                 repairs = 0
         if repairs:
+            # Repairs rewrite entries in place (object identity kept), so
+            # the replay memo must be invalidated explicitly.
+            kernel.bump_epoch()
             kernel.stats.inc("scrub.repairs", repairs)
         return repairs
 

@@ -61,6 +61,12 @@ class AssocCache(Generic[K, V]):
         self._set_of = set_of or (lambda key: hash(key))
         # Each set is an OrderedDict ordered from LRU (front) to MRU (back).
         self._sets: list[OrderedDict[K, V]] = [OrderedDict() for _ in range(self.n_sets)]
+        # Interned counter handles for the per-reference paths; cold
+        # maintenance operations keep the readable f-string form.
+        self._inc_hit = self.stats.counter(f"{name}.hit")
+        self._inc_miss = self.stats.counter(f"{name}.miss")
+        self._inc_fill = self.stats.counter(f"{name}.fill")
+        self._inc_eviction = self.stats.counter(f"{name}.eviction")
 
     # ------------------------------------------------------------------ #
     # Lookup and fill
@@ -71,16 +77,32 @@ class AssocCache(Generic[K, V]):
     def lookup(self, key: K) -> V | None:
         """Probe for ``key``; updates LRU order and hit/miss counters."""
         entry_set = self._set_for(key)
-        if key in entry_set:
+        value = entry_set.get(key)
+        if value is not None:
             entry_set.move_to_end(key)
-            self.stats.inc(f"{self.name}.hit")
-            return entry_set[key]
-        self.stats.inc(f"{self.name}.miss")
+            self._inc_hit()
+            return value
+        self._inc_miss()
         return None
 
     def peek(self, key: K) -> V | None:
         """Probe without touching LRU state or counters (for inspection)."""
         return self._set_for(key).get(key)
+
+    def pin(self, key: K) -> tuple[OrderedDict[K, V], V] | None:
+        """The ``(set, value)`` pair for a resident key — no accounting.
+
+        The fast-path memo (see :mod:`repro.sim.machine`) records the
+        exact set dict and value object a hit resolves to; on a repeat
+        hit it revalidates residency with an identity check and replays
+        the LRU touch directly, which is only sound because ``lookup``'s
+        hit path is exactly ``move_to_end`` + one hit counter.
+        """
+        entry_set = self._set_for(key)
+        value = entry_set.get(key)
+        if value is None:
+            return None
+        return entry_set, value
 
     def fill(self, key: K, value: V) -> K | None:
         """Insert or update ``key``; returns the evicted key, if any."""
@@ -90,9 +112,9 @@ class AssocCache(Generic[K, V]):
             entry_set.move_to_end(key)
         elif len(entry_set) >= self.ways:
             victim, _ = entry_set.popitem(last=False)
-            self.stats.inc(f"{self.name}.eviction")
+            self._inc_eviction()
         entry_set[key] = value
-        self.stats.inc(f"{self.name}.fill")
+        self._inc_fill()
         return victim
 
     def update(self, key: K, value: V) -> bool:

@@ -137,6 +137,12 @@ class DataCache:
         self._sets: list[OrderedDict[tuple, CacheLine]] = [
             OrderedDict() for _ in range(self.n_sets)
         ]
+        # Interned counter handles for the per-reference path.
+        self._inc_hit = self.stats.counter(f"{name}.hit")
+        self._inc_miss = self.stats.counter(f"{name}.miss")
+        self._inc_fill = self.stats.counter(f"{name}.fill")
+        self._inc_eviction = self.stats.counter(f"{name}.eviction")
+        self._inc_writeback = self.stats.counter(f"{name}.writeback")
 
     # ------------------------------------------------------------------ #
     # Address plumbing
@@ -155,6 +161,22 @@ class DataCache:
             return (asid, tag) if self.asid_tagged else (tag,)
         assert paddr is not None
         return (self._line_number(paddr),)
+
+    def pin_line(
+        self, vaddr: int, paddr: int | None, asid: int
+    ) -> tuple[OrderedDict, tuple, CacheLine] | None:
+        """``(set, key, line)`` for a resident line — no accounting.
+
+        Used by the replay fast path to record exactly where a hit
+        resolved; see :meth:`repro.hardware.assoc.AssocCache.pin`.
+        ``paddr`` may be None only for a virtually tagged organization.
+        """
+        entry_set = self._sets[self._index(vaddr, paddr)]
+        key = self._tag_key(vaddr, paddr, asid)
+        line = entry_set.get(key)
+        if line is None:
+            return None
+        return entry_set, key, line
 
     # ------------------------------------------------------------------ #
     # The access path
@@ -206,7 +228,7 @@ class DataCache:
             entry_set.move_to_end(key)
             if write:
                 line.dirty = True
-            self.stats.inc(f"{self.name}.hit")
+            self._inc_hit()
             synonym = self._synonym_check(line.paddr_line) if self.detect_hazards else False
             return CacheAccess(
                 hit=True,
@@ -216,20 +238,20 @@ class DataCache:
             )
 
         # Miss path: translation is now required to fetch the line.
-        self.stats.inc(f"{self.name}.miss")
+        self._inc_miss()
         resolve()
         writeback = False
         victim_paddr_line: int | None = None
         if len(entry_set) >= self.ways:
             _, victim = entry_set.popitem(last=False)
-            self.stats.inc(f"{self.name}.eviction")
+            self._inc_eviction()
             if victim.dirty:
                 # A dirty writeback needs the victim's physical address;
                 # in a VIVT cache this is the other moment translation is
                 # consulted (Section 3.2.1).
                 writeback = True
                 victim_paddr_line = victim.paddr_line
-                self.stats.inc(f"{self.name}.writeback")
+                self._inc_writeback()
         assert paddr is not None
         entry_set[key] = CacheLine(
             tag=key[-1],
@@ -237,7 +259,7 @@ class DataCache:
             asid=asid,
             dirty=write,
         )
-        self.stats.inc(f"{self.name}.fill")
+        self._inc_fill()
         synonym = self._synonym_check(self._line_number(paddr)) if self.detect_hazards else False
         return CacheAccess(
             hit=False,

@@ -104,18 +104,21 @@ class TranslationTLB:
         # installs nothing, so every reference re-walks the translation
         # table (cost visible as ``{name}.disabled_walk``).
         self._disabled = False
+        self._inc_hit = self.stats.counter(f"{name}.hit")
+        self._inc_miss = self.stats.counter(f"{name}.miss")
+        self._inc_disabled_walk = self.stats.counter(f"{name}.disabled_walk")
 
     def lookup(self, vpn: int) -> TranslationEntry | None:
         """Probe all levels for a translation covering ``vpn``."""
         if self._disabled:
-            self.stats.inc(f"{self.name}.disabled_walk")
+            self._inc_disabled_walk()
             return None
         for level in self.levels:
             entry = self._cache.lookup((level, vpn >> level))
             if entry is not None:
-                self.stats.inc(f"{self.name}.hit")
+                self._inc_hit()
                 return entry
-        self.stats.inc(f"{self.name}.miss")
+        self._inc_miss()
         return None
 
     def fill(self, vpn: int, pfn: int, *, level: int = 0,
@@ -199,8 +202,21 @@ class AIDTaggedTLB:
             entries, ways, name=name, stats=self.stats, set_of=lambda vpn: vpn
         )
 
+    @property
+    def ways(self) -> int:
+        """Associativity of the backing store (1 = direct mapped)."""
+        return self._cache.ways
+
     def lookup(self, vpn: int) -> PageGroupEntry | None:
         return self._cache.lookup(vpn)
+
+    def pin(self, vpn: int):
+        """``(set, key, entry)`` for a resident page — no accounting."""
+        pinned = self._cache.pin(vpn)
+        if pinned is None:
+            return None
+        entry_set, entry = pinned
+        return entry_set, vpn, entry
 
     def fill(self, vpn: int, pfn: int, rights: Rights, aid: int) -> PageGroupEntry:
         entry = PageGroupEntry(pfn=pfn, rights=rights, aid=aid, referenced=True)
@@ -264,8 +280,22 @@ class ASIDTaggedTLB:
             entries, ways, name=name, stats=self.stats, set_of=lambda key: key[1]
         )
 
+    @property
+    def ways(self) -> int:
+        """Associativity of the backing store (1 = direct mapped)."""
+        return self._cache.ways
+
     def lookup(self, asid: int, vpn: int) -> CombinedEntry | None:
         return self._cache.lookup((asid, vpn))
+
+    def pin(self, asid: int, vpn: int):
+        """``(set, key, entry)`` for a resident mapping — no accounting."""
+        key = (asid, vpn)
+        pinned = self._cache.pin(key)
+        if pinned is None:
+            return None
+        entry_set, entry = pinned
+        return entry_set, key, entry
 
     def fill(self, asid: int, vpn: int, pfn: int, rights: Rights) -> CombinedEntry:
         entry = CombinedEntry(pfn=pfn, rights=rights, referenced=True)

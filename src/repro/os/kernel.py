@@ -132,6 +132,13 @@ class Kernel:
         #: Intent-journal hook: when set, multi-step verbs announce each
         #: mutation boundary by label (see :mod:`repro.faults.journal`).
         self._verb_step_hook: Callable[[str], None] | None = None
+        #: Generation counter guarding the replay fast path: any kernel
+        #: entry that may change what a repeat-hit reference would do
+        #: (attach/detach, rights changes, unmap, domain switch, fault
+        #: handling, injected corruption, ...) bumps it, and the memo in
+        #: :class:`~repro.sim.machine.Machine` discards everything cached
+        #: under an older epoch.
+        self.mutation_epoch = 0
 
         options = dict(system_options or {})
         self.system: MemorySystem = self._build_system(model, options)
@@ -147,6 +154,9 @@ class Kernel:
         """Start (or stop) tracing this kernel and its memory system."""
         self.tracer = tracer
         self.system.attach_tracer(tracer)
+        # Tracing changes what a reference does (span per access): drop
+        # memoized hits recorded against the untraced path.
+        self.bump_epoch()
 
     def _build_system(self, model: str, options: dict) -> MemorySystem:
         if model == "plb":
@@ -158,8 +168,20 @@ class Kernel:
     # ------------------------------------------------------------------ #
     # Kernel-entry accounting
 
+    def bump_epoch(self) -> None:
+        """Invalidate every memoized fast-path hit (see ``mutation_epoch``)."""
+        self.mutation_epoch += 1
+
     def _trap(self, label: str) -> None:
-        """Charge one kernel entry (trap or protected syscall)."""
+        """Charge one kernel entry (trap or protected syscall).
+
+        Every kernel entry bumps the mutation epoch: a verb that runs at
+        all *may* change protection or translation state, and charging
+        one integer increment per trap is far cheaper than proving which
+        verbs are pure.  References never trap on the hot path, so the
+        memo survives exactly as long as the machine stays in user mode.
+        """
+        self.mutation_epoch += 1
         self.stats.inc("kernel.trap")
         self.stats.inc(f"kernel.syscall.{label}")
 
@@ -491,6 +513,7 @@ class Kernel:
 
     def populate_page(self, vpn: int) -> int:
         """Allocate a frame and install the (unique) translation."""
+        self.bump_epoch()
         if self.translations.is_resident(vpn):
             raise KernelError(f"page {vpn:#x} already resident")
         if self.segment_at(vpn) is None:
@@ -631,6 +654,7 @@ class Kernel:
         model allows it; otherwise every cached protection mapping is
         discarded and refaults lazily from the attachment tables.
         """
+        self.bump_epoch()
         self.stats.inc("kernel.rebuild_protection")
         with self.tracer.span("kernel.rebuild_protection", pd=pd_id):
             self.ops.rebuild_protection(pd_id)

@@ -6,12 +6,27 @@ faults trap to the kernel (workload-installed handlers fix up rights,
 pagers bring pages in) and the faulting access retries, exactly the
 fault-driven protocols that the paper's application classes (GC, DSM,
 transactions, checkpointing) are built on.
+
+The replay hot path (see ARCHITECTURE.md §9) is the *repeat hit*: the
+same domain touching the same cache line with the same access, every
+structure resident.  :meth:`Machine.touch` memoizes such hits as
+:class:`~repro.core.mmu.HotRecipe` objects keyed by
+``(pd_id, line, access)`` and replays them without re-walking the access
+path — one dict probe, a handful of identity guards, the LRU touches and
+a single batched stats merge.  The memo is guarded by the kernel's
+``mutation_epoch``: any kernel entry (verb, fault, injected corruption)
+bumps it and the whole memo is discarded, so the fast path can never
+serve a hit across a protection or translation change.  Fast-path-on and
+fast-path-off runs produce byte-identical stats; the equivalence suite
+(``tests/sim/test_fastpath_equivalence.py``) pins that.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable, Sequence
 
 from repro.core.mmu import AccessResult, PageFault, ProtectionFault
 from repro.core.rights import AccessType
@@ -38,30 +53,70 @@ class TouchResult:
         return bool(self.protection_faults or self.page_faults)
 
 
+def _replay_shard(payload: tuple[Callable[[], "Machine"], list[TraceOp]]) -> dict[str, int]:
+    """Worker entry for :meth:`Machine.run_sharded` (module-level: picklable)."""
+    factory, shard = payload
+    machine = factory()
+    return machine.run(shard).as_dict()
+
+
 class Machine:
-    """Runs references (and whole traces) against one kernel."""
+    """Runs references (and whole traces) against one kernel.
+
+    Args:
+        kernel: The kernel (and memory system) to drive.
+        fast_path: Enable the epoch-guarded replay memo.  Off, every
+            reference walks the full access path; on, repeat hits replay
+            by recipe with byte-identical stats.  Exposed so the
+            equivalence suite and the throughput benchmark can compare
+            both modes.
+    """
 
     #: A reference that faults more than this many times is wedged: the
     #: handlers are not making progress.
     MAX_FAULTS = 16
 
-    def __init__(self, kernel: Kernel) -> None:
+    #: Memoized hits kept before the memo is wholesale cleared.  The cap
+    #: bounds memory on huge traces; clearing (rather than evicting) keeps
+    #: the hit path free of bookkeeping.
+    MEMO_CAPACITY = 65536
+
+    def __init__(self, kernel: Kernel, *, fast_path: bool = True) -> None:
         self.kernel = kernel
-        #: When set (see :meth:`record_trace`), every touch is appended
+        self.fast_path = fast_path
+        #: When set (see :meth:`record_trace`), every touch (and every
+        #: explicit :class:`Switch` replayed by :meth:`run`) is appended
         #: here so a workload's reference stream can be saved and
         #: replayed on another model.
-        self._trace_log: list[Ref] | None = None
+        self._trace_log: list[TraceOp] | None = None
+        #: (pd_id, line, access) -> HotRecipe, valid for ``_memo_epoch``.
+        self._memo: dict[tuple, object] = {}
+        #: Keys of pure hits seen once this epoch.  A recipe is only
+        #: built on a key's *second* pure hit: thrashing workloads whose
+        #: lines are evicted before reuse then pay one set-add per hit
+        #: instead of a full (pin + allocate) recipe construction.
+        self._seen: set[tuple] = set()
+        self._memo_epoch = -1
+        self._line_shift = kernel.params.line_offset_bits
+        # Raw counter store: the memo hit path merges a recipe's counts
+        # with an inline loop, skipping even the inc_many call.
+        self._counts = kernel.stats._counts
+        #: Reused container for fast-path results: the hot path rebinds
+        #: ``.result`` instead of allocating.  Borrowed until the next
+        #: fast-path touch — callers that keep results across touches get
+        #: the slow path's fresh objects anyway (any fault or miss).
+        self._fast_touch = TouchResult(None)  # type: ignore[arg-type]
 
     @property
     def stats(self) -> Stats:
         return self.kernel.stats
 
-    def record_trace(self, sink: list[Ref] | None = None) -> list[Ref]:
+    def record_trace(self, sink: list[TraceOp] | None = None) -> list[TraceOp]:
         """Start recording every reference; returns the sink list."""
         self._trace_log = sink if sink is not None else []
         return self._trace_log
 
-    def stop_recording(self) -> list[Ref] | None:
+    def stop_recording(self) -> list[TraceOp] | None:
         """Stop recording; returns the captured trace."""
         log, self._trace_log = self._trace_log, None
         return log
@@ -83,23 +138,101 @@ class Machine:
         faults and :class:`FaultLoop` if handlers stop making progress.
         """
         kernel = self.kernel
+        pd_id = domain.pd_id
         if self._trace_log is not None:
-            self._trace_log.append(Ref(domain.pd_id, vaddr, access))
-        if kernel.system.current_domain != domain.pd_id:
+            self._trace_log.append(Ref(pd_id, vaddr, access))
+
+        fast = self.fast_path
+        if fast:
+            memo = self._memo
+            epoch = kernel.mutation_epoch
+            if epoch != self._memo_epoch:
+                memo.clear()
+                self._seen.clear()
+                self._memo_epoch = epoch
+            # ``_value_`` (an interned string with a cached hash) keys the
+            # memo instead of the enum member, whose ``__hash__`` is a
+            # Python-level call.  A resident recipe also implies the
+            # recorded domain is still current: every kernel-mediated
+            # switch traps, and every trap bumps the epoch that just
+            # validated the memo.
+            key = (pd_id, vaddr >> self._line_shift, access._value_)
+            recipe = memo.get(key)
+            if recipe is not None:
+                # HotRecipe.apply, inlined: guards checked and LRU-touched
+                # in one fused pass, then R/M bits, the reused result and
+                # one batched stats merge.
+                for odict, gkey, obj, do_touch in recipe.guard_steps:
+                    if odict.get(gkey) is not obj:
+                        del memo[key]
+                        break
+                    if do_touch:
+                        odict.move_to_end(gkey)
+                else:
+                    extra = recipe.extra_guard
+                    if extra is None or extra():
+                        for entry in recipe.ref_entries:
+                            entry.referenced = True
+                        for entry in recipe.dirty_entries:
+                            entry.dirty = True
+                        result = recipe.result
+                        paddr_page = recipe.paddr_page
+                        if paddr_page is not None:
+                            result.paddr = paddr_page | (vaddr & recipe.offset_mask)
+                        counts = self._counts
+                        for name, amount in recipe.counts_items:
+                            counts[name] += amount
+                        wrapper = self._fast_touch
+                        wrapper.result = result
+                        return wrapper
+                    del memo[key]
+
+        system = kernel.system
+        if system.current_domain != pd_id:
             kernel.switch_to(domain)
+        access_fast = system.access_fast
         protection_faults = 0
         page_faults = 0
         for _ in range(self.MAX_FAULTS):
-            try:
-                result = kernel.system.access(vaddr, access)
-            except ProtectionFault as fault:
-                protection_faults += 1
-                kernel.handle_protection_fault(fault)
-            except PageFault as fault:
-                page_faults += 1
-                kernel.handle_page_fault(fault)
-            else:
+            result = access_fast(vaddr, access)
+            if result.__class__ is AccessResult:
+                if (
+                    fast
+                    and result.cache_hit
+                    and not protection_faults
+                    and not page_faults
+                    and not kernel.tracer.active
+                ):
+                    # A pure hit: memoize it under the *current* epoch (a
+                    # handler or switch above may have advanced it
+                    # mid-touch).  The recipe is only built on the key's
+                    # second pure hit (see ``_seen``).
+                    memo = self._memo
+                    seen = self._seen
+                    epoch = kernel.mutation_epoch
+                    if epoch != self._memo_epoch:
+                        memo.clear()
+                        seen.clear()
+                        self._memo_epoch = epoch
+                    elif len(memo) >= self.MEMO_CAPACITY:
+                        memo.clear()
+                    if key in seen:
+                        recipe = system.hot_recipe(vaddr, access)
+                        if recipe is not None:
+                            memo[key] = recipe
+                    else:
+                        if len(seen) >= self.MEMO_CAPACITY:
+                            seen.clear()
+                        seen.add(key)
                 return TouchResult(result, protection_faults, page_faults)
+            if isinstance(result, ProtectionFault):
+                protection_faults += 1
+                kernel.handle_protection_fault(result)
+            elif isinstance(result, PageFault):
+                page_faults += 1
+                kernel.handle_page_fault(result)
+            else:  # pragma: no cover - protocol violation
+                raise TypeError(f"access_fast returned {result!r}")
         raise FaultLoop(
             f"access at {vaddr:#x} by {domain.name} still faulting after "
             f"{self.MAX_FAULTS} handled faults"
@@ -117,12 +250,76 @@ class Machine:
     def run(self, trace: Iterable[TraceOp]) -> Stats:
         """Replay a trace; returns the stats accumulated by the run."""
         before = self.stats.snapshot()
+        domains = self.kernel.domains
+        touch = self.touch
+        switch_to = self.kernel.switch_to
         for op in trace:
-            if isinstance(op, Ref):
-                domain = self.kernel.domains[op.pd_id]
-                self.touch(domain, op.vaddr, op.access)
+            # Exact-class dispatch covers every op the recorder emits;
+            # isinstance only runs for foreign objects (to reject them).
+            cls = op.__class__
+            if cls is Ref:
+                touch(domains[op.pd_id], op.vaddr, op.access)
+            elif cls is Switch:
+                if self._trace_log is not None:
+                    # An explicit switch is part of the reference stream:
+                    # dropping it would let a re-recorded trace diverge in
+                    # switch costs when replayed on another model.
+                    self._trace_log.append(op)
+                switch_to(domains[op.pd_id])
+            elif isinstance(op, Ref):
+                touch(domains[op.pd_id], op.vaddr, op.access)
             elif isinstance(op, Switch):
-                self.kernel.switch_to(self.kernel.domains[op.pd_id])
+                if self._trace_log is not None:
+                    self._trace_log.append(op)
+                switch_to(domains[op.pd_id])
             else:
                 raise TypeError(f"not a trace op: {op!r}")
         return self.stats.delta(before)
+
+    def run_sharded(
+        self,
+        traces: Sequence[Iterable[TraceOp]],
+        *,
+        jobs: int | None = None,
+        factory: Callable[[], "Machine"] | None = None,
+    ) -> Stats:
+        """Replay independent trace shards, merging their stats.
+
+        Each shard is an independent trace replayed against a *fresh*
+        machine built by ``factory`` (a zero-argument picklable callable
+        — a module-level function or ``functools.partial`` over one), so
+        shards cannot interfere and the merged result is deterministic:
+        ``Stats`` counters commute, shards are merged in order, and the
+        same shards produce the same totals for any ``jobs`` value.
+
+        With ``jobs > 1`` shards fan out across a ``multiprocessing``
+        pool; with ``jobs=1`` (or a single shard) they run in-process.
+        Without a ``factory`` the shards replay sequentially on *this*
+        machine (sharing its kernel state), which is only equivalent to
+        the parallel mode when the caller does not care about cross-shard
+        cache warmth — parallel runs therefore require ``factory``.
+        """
+        shards = [shard if isinstance(shard, list) else list(shard) for shard in traces]
+        if not shards:
+            return Stats()
+        if factory is None:
+            if jobs is not None and jobs > 1:
+                raise ValueError("run_sharded with jobs > 1 requires a factory")
+            merged = Stats()
+            for shard in shards:
+                merged.merge(self.run(shard))
+            return merged
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        jobs = max(1, min(jobs, len(shards)))
+        merged = Stats()
+        if jobs == 1:
+            for shard in shards:
+                merged.inc_many(_replay_shard((factory, shard)))
+            return merged
+        with multiprocessing.get_context().Pool(jobs) as pool:
+            # pool.map returns results in shard order (not completion
+            # order), so the merge sequence is deterministic.
+            for counts in pool.map(_replay_shard, [(factory, s) for s in shards]):
+                merged.inc_many(counts)
+        return merged

@@ -209,9 +209,9 @@ class TestDisabledFastPath:
         kernel = Kernel("plb")
         tracer = Tracer(kernel.stats)
         kernel.attach_tracer(tracer)
-        assert kernel.system.access is not kernel.system._access
+        assert kernel.system.access_fast is not kernel.system._access_fast
         kernel.system.attach_tracer(NULL_TRACER)
-        assert kernel.system.access == kernel.system._access
+        assert kernel.system.access_fast == kernel.system._access_fast
 
 
 class TestChromeRoundTrip:

@@ -1,0 +1,157 @@
+"""Every mutation path must bump the kernel's ``mutation_epoch``.
+
+The replay memo (ARCHITECTURE.md §9) is correct only if *every* way
+protection or translation state can change advances the epoch that
+invalidates it.  This matrix enumerates them: every kernel verb, the
+fault injector's record path, and the scrubber's repair path.  A verb
+added without a ``_trap``/``bump_epoch`` call fails here before it can
+let the fast path serve a stale hit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rights import Rights
+from repro.faults.errors import HardwareFault
+from repro.faults.plan import FaultEvent, FaultInjector, FaultPlan
+from repro.faults.scrub import Scrubber
+from repro.os.kernel import MODELS, Kernel
+
+
+class Env:
+    """A kernel mid-flight: two domains sharing a populated segment."""
+
+    def __init__(self, model: str) -> None:
+        self.kernel = Kernel(model, n_frames=64)
+        self.d1 = self.kernel.create_domain("d1")
+        self.d2 = self.kernel.create_domain("d2")
+        self.seg = self.kernel.create_segment("seg", 4, populate=True)
+        self.kernel.attach(self.d1, self.seg, Rights.RW)
+        self.kernel.attach(self.d2, self.seg, Rights.READ)
+        self.kernel.switch_to(self.d1)
+
+
+# Each case: env -> zero-arg callable.  Setup that itself traps runs in
+# the builder, *before* the epoch is sampled, so only the verb under
+# test is credited with the bump.
+VERB_CASES = {
+    "create_domain": lambda e: lambda: e.kernel.create_domain("d3"),
+    "create_segment": lambda e: lambda: e.kernel.create_segment("s2", 2),
+    "attach": lambda e: (
+        lambda seg: lambda: e.kernel.attach(e.d1, seg, Rights.RW)
+    )(e.kernel.create_segment("s2", 2)),
+    "detach": lambda e: lambda: e.kernel.detach(e.d2, e.seg),
+    "set_page_rights": lambda e: lambda: e.kernel.set_page_rights(
+        e.d1, e.seg.base_vpn, Rights.READ
+    ),
+    "set_segment_rights": lambda e: lambda: e.kernel.set_segment_rights(
+        e.d1, e.seg, Rights.READ
+    ),
+    "set_rights_all_domains": lambda e: lambda: e.kernel.set_rights_all_domains(
+        e.seg.base_vpn, Rights.READ
+    ),
+    "switch_to": lambda e: lambda: e.kernel.switch_to(e.d2),
+    "destroy_segment": lambda e: (
+        lambda seg: lambda: e.kernel.destroy_segment(seg)
+    )(e.kernel.create_segment("doomed", 2)),
+    "populate_page": lambda e: (
+        lambda seg: lambda: e.kernel.populate_page(seg.base_vpn)
+    )(e.kernel.create_segment("cold", 2, populate=False)),
+    "unmap_page": lambda e: lambda: e.kernel.unmap_page(e.seg.base_vpn),
+    "free_page": lambda e: lambda: e.kernel.free_page(e.seg.base_vpn),
+    "rebuild_protection_state": lambda e: lambda: (
+        e.kernel.rebuild_protection_state()
+    ),
+    "attach_tracer": lambda e: lambda: e.kernel.attach_tracer(
+        __import__("repro.obs.tracer", fromlist=["Tracer"]).Tracer(e.kernel.stats)
+    ),
+}
+
+GROUP_CASES = {
+    "grant_group": lambda e: lambda: e.kernel.grant_group(e.d2, 1),
+    "revoke_group": lambda e: (
+        lambda: (e.kernel.grant_group(e.d2, 1), e.kernel.revoke_group(e.d2, 1))
+    ),
+    "move_page_to_group": lambda e: lambda: e.kernel.move_page_to_group(
+        e.seg.base_vpn, 1
+    ),
+    "set_page_rights_global": lambda e: lambda: (
+        e.kernel.set_page_rights_global(e.seg.base_vpn, Rights.READ)
+    ),
+}
+
+
+class TestVerbMatrix:
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("verb", sorted(VERB_CASES))
+    def test_verb_bumps_epoch(self, model, verb):
+        env = Env(model)
+        call = VERB_CASES[verb](env)
+        before = env.kernel.mutation_epoch
+        call()
+        assert env.kernel.mutation_epoch > before
+
+    @pytest.mark.parametrize("verb", sorted(GROUP_CASES))
+    def test_group_verb_bumps_epoch(self, verb):
+        env = Env("pagegroup")
+        call = GROUP_CASES[verb](env)
+        before = env.kernel.mutation_epoch
+        call()
+        assert env.kernel.mutation_epoch > before
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_fault_handling_bumps_epoch(self, model):
+        """Protection/page faults trap, so fault handling invalidates."""
+        from repro.sim.machine import Machine
+
+        env = Env(model)
+        machine = Machine(env.kernel)
+        cold = env.kernel.create_segment("cold", 1, populate=False)
+        env.kernel.attach(env.d1, cold, Rights.RW)
+        before = env.kernel.mutation_epoch
+        result = machine.write(env.d1, env.kernel.params.vaddr(cold.base_vpn))
+        assert result.page_faults == 1
+        assert env.kernel.mutation_epoch > before
+
+
+class TestFaultSites:
+    def test_injector_record_bumps_epoch(self):
+        kernel = Kernel("plb")
+        injector = FaultInjector(
+            FaultPlan(events=(FaultEvent("disk", "transient_write", at=0),))
+        )
+        injector.arm(kernel)
+        before = kernel.mutation_epoch
+        with pytest.raises(HardwareFault):
+            kernel.backing.write(0x10, b"boom")
+        assert kernel.mutation_epoch > before
+        injector.disarm()
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_clean_scrub_leaves_epoch_alone(self, model):
+        """No repairs -> no invalidation: scrubbing is epoch-neutral."""
+        env = Env(model)
+        before = env.kernel.mutation_epoch
+        assert Scrubber(env.kernel).scrub() == 0
+        assert env.kernel.mutation_epoch == before
+
+    def test_repairing_scrub_bumps_epoch(self):
+        """A scrub that rewrites entries must invalidate the memo."""
+        from repro.sim.machine import Machine
+
+        env = Env("plb")
+        machine = Machine(env.kernel)
+        vaddr = env.kernel.params.vaddr(env.seg.base_vpn)
+        machine.write(env.d1, vaddr)
+        # Corrupt a PLB entry the touch installed, behind the kernel's
+        # back (object mutation: no trap, no epoch bump).
+        entries = [
+            entry for key, entry in env.kernel.system.plb.items()
+            if key.level == 0
+        ]
+        assert entries
+        entries[0].rights = Rights.NONE
+        before = env.kernel.mutation_epoch
+        assert Scrubber(env.kernel).scrub() >= 1
+        assert env.kernel.mutation_epoch > before

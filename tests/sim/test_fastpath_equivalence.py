@@ -1,0 +1,156 @@
+"""Fast path on vs off must be observationally identical.
+
+The replay memo (ARCHITECTURE.md §9) claims byte-identical stats: a
+:class:`Machine` with ``fast_path=True`` and one with ``fast_path=False``
+replaying the same op stream must end with equal ``Stats.as_dict()`` —
+every counter, every value, across every model.  These tests replay the
+check package's seeded scenario streams (the same op vocabulary the
+differential oracle fuzzes with) through both modes, including under an
+armed fault injector, so any divergence the memo could introduce —
+skipped LRU touches, missed R/M bits, stale hits across a protection
+change — shows up as a counter mismatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import ops as opmod
+from repro.check.ops import SCENARIOS, generate_ops
+from repro.core.rights import Rights
+from repro.faults.errors import HardwareFault
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.scrub import Scrubber
+from repro.os.kernel import MODELS, Kernel, KernelError, SegmentationViolation
+from repro.sim.machine import Machine
+
+N_OPS = 250
+#: 5 scenarios x 4 seeds = 20 distinct op streams per model.
+SEEDS = (0, 1, 2, 3)
+SCENARIO_SEEDS = [
+    (name, seed) for name in sorted(SCENARIOS) for seed in SEEDS
+]
+
+
+def _apply(kernel, machine, domains, segments, op) -> None:
+    """One scenario op against one kernel (the differ's vocabulary)."""
+    if isinstance(op, opmod.Touch):
+        machine.touch(domains[op.pd], op.vaddr, op.access)
+    elif isinstance(op, opmod.CreateDomain):
+        domain = kernel.create_domain(op.name)
+        domains[domain.pd_id] = domain
+    elif isinstance(op, opmod.CreateSegment):
+        segment = kernel.create_segment(op.name, op.n_pages, populate=op.populate)
+        segments[segment.seg_id] = segment
+    elif isinstance(op, opmod.Attach):
+        kernel.attach(domains[op.pd], segments[op.seg], op.rights)
+    elif isinstance(op, opmod.Detach):
+        kernel.detach(domains[op.pd], segments[op.seg])
+    elif isinstance(op, opmod.SetPageRights):
+        kernel.set_page_rights(domains[op.pd], op.vpn, op.rights)
+    elif isinstance(op, opmod.SetSegmentRights):
+        kernel.set_segment_rights(domains[op.pd], segments[op.seg], op.rights)
+    elif isinstance(op, opmod.SetRightsAll):
+        kernel.set_rights_all_domains(op.vpn, op.rights)
+    elif isinstance(op, opmod.PageOut):
+        kernel.free_page(op.vpn)
+    elif isinstance(op, opmod.PageIn):
+        kernel.populate_page(op.vpn)
+    elif isinstance(op, opmod.Switch):
+        kernel.switch_to(domains[op.pd])
+    elif isinstance(op, opmod.DestroySegment):
+        kernel.destroy_segment(segments.pop(op.seg))
+    else:  # pragma: no cover - generator never emits anything else
+        raise TypeError(f"unknown op {op!r}")
+
+
+def replay(model: str, scenario: str, seed: int, *, fast: bool,
+           chaos: bool = False) -> dict[str, int]:
+    """Replay one seeded scenario stream; returns the final counters.
+
+    Ops the kernel rejects (gold-invalid edges, faulting touches, fault
+    injections) are skipped; both modes replay the identical stream, so
+    both skip the identical set and any counter difference is the fast
+    path's fault.
+    """
+    spec = SCENARIOS[scenario]
+    kernel = Kernel(
+        model, n_frames=256, system_options=spec.system_options(model)
+    )
+    machine = Machine(kernel, fast_path=fast)
+    stream = generate_ops(spec, seed, N_OPS)
+    injector = scrubber = None
+    if chaos:
+        injector = FaultInjector(FaultPlan.generate("mixed", seed, N_OPS))
+        injector.arm(kernel)
+        scrubber = Scrubber(kernel)
+    domains: dict = {}
+    segments: dict = {}
+    for index, op in enumerate(stream):
+        if injector is not None:
+            try:
+                injector.tick(index)
+            except HardwareFault:
+                pass
+        try:
+            _apply(kernel, machine, domains, segments, op)
+        except (KernelError, SegmentationViolation, KeyError, HardwareFault):
+            pass
+        if scrubber is not None and (index + 1) % 16 == 0:
+            scrubber.scrub()
+    if injector is not None:
+        injector.flush_delayed()
+        scrubber.scrub()
+        injector.disarm()
+    return kernel.stats.as_dict()
+
+
+class TestByteIdenticalStats:
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize(
+        "scenario,seed", SCENARIO_SEEDS,
+        ids=[f"{name}-s{seed}" for name, seed in SCENARIO_SEEDS],
+    )
+    def test_fast_equals_full(self, model, scenario, seed):
+        full = replay(model, scenario, seed, fast=False)
+        fast = replay(model, scenario, seed, fast=True)
+        assert fast == full
+
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_fast_equals_full_under_chaos(self, model, seed):
+        """Equivalence holds with an armed injector corrupting state."""
+        full = replay(model, "fuzz", seed, fast=False, chaos=True)
+        fast = replay(model, "fuzz", seed, fast=True, chaos=True)
+        assert fast == full
+
+
+class TestMemoEngages:
+    """Guard against a vacuous suite: the fast path must actually fire."""
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_repeat_hits_are_memoized(self, model):
+        kernel = Kernel(model)
+        machine = Machine(kernel)
+        domain = kernel.create_domain("app")
+        segment = kernel.create_segment("data", 1)
+        kernel.attach(domain, segment, Rights.RW)
+        vaddr = kernel.params.vaddr(segment.base_vpn)
+        # First hit seeds _seen, second records the recipe, third replays.
+        for _ in range(3):
+            machine.read(domain, vaddr)
+        assert machine._memo, "no recipe recorded for a repeat pure hit"
+        before = kernel.stats["refs"]
+        machine.read(domain, vaddr)
+        assert kernel.stats["refs"] == before + 1
+
+    def test_fast_path_off_never_memoizes(self):
+        kernel = Kernel("plb")
+        machine = Machine(kernel, fast_path=False)
+        domain = kernel.create_domain("app")
+        segment = kernel.create_segment("data", 1)
+        kernel.attach(domain, segment, Rights.RW)
+        vaddr = kernel.params.vaddr(segment.base_vpn)
+        for _ in range(5):
+            machine.read(domain, vaddr)
+        assert not machine._memo

@@ -138,3 +138,101 @@ class TestRun:
             stats = machine.run(trace)
             results[model] = stats["refs"]
         assert len(set(results.values())) == 1
+
+
+def _mixed_trace(kernel):
+    """A trace with explicit Switch ops interleaved between refs."""
+    a = kernel.create_domain("a")
+    b = kernel.create_domain("b")
+    segment = kernel.create_segment("shared", 4)
+    kernel.attach(a, segment, Rights.RW)
+    kernel.attach(b, segment, Rights.RW)
+    base = kernel.params.vaddr(segment.base_vpn)
+    return [
+        Ref(a.pd_id, base, AccessType.WRITE),
+        Switch(b.pd_id),
+        Ref(b.pd_id, base + 64, AccessType.READ),
+        Switch(a.pd_id),
+        Ref(a.pd_id, base + 128, AccessType.READ),
+    ]
+
+
+class TestReplayRoundtrip:
+    def test_rerecording_a_replay_keeps_switch_ops(self, kernel):
+        """run() must log replayed Switch ops, not just Refs.
+
+        Dropping them would make a re-recorded trace diverge in switch
+        costs when replayed on another model.
+        """
+        machine = Machine(kernel)
+        trace = _mixed_trace(kernel)
+        log = machine.record_trace()
+        machine.run(trace)
+        machine.stop_recording()
+        assert log == trace
+
+    def test_roundtrip_stats_identical_across_models(self):
+        """record -> replay -> re-record is a fixpoint on every model."""
+        for model in ("plb", "pagegroup", "conventional"):
+            kernel = Kernel(model)
+            machine = Machine(kernel)
+            trace = _mixed_trace(kernel)
+            first = machine.run(trace).as_dict()
+
+            replay_kernel = Kernel(model)
+            replay_machine = Machine(replay_kernel)
+            _mixed_trace(replay_kernel)  # same domains and segment
+            log = replay_machine.record_trace()
+            second = replay_machine.run(trace).as_dict()
+            replay_machine.stop_recording()
+            assert log == trace, model
+            assert second == first, model
+
+
+class TestRunSharded:
+    @staticmethod
+    def _factory():
+        kernel = Kernel("plb")
+        machine = Machine(kernel)
+        domain = kernel.create_domain("test-domain")
+        segment = kernel.create_segment("test-segment", 8)
+        kernel.attach(domain, segment, Rights.RW)
+        return machine
+
+    def _shards(self, n_shards=3, refs_per_shard=40):
+        kernel = Kernel("plb")
+        domain, segment = make_attached_segment(kernel)
+        base = kernel.params.vaddr(segment.base_vpn)
+        return [
+            [
+                Ref(domain.pd_id, base + 64 * ((shard * refs_per_shard + i) % 128))
+                for i in range(refs_per_shard)
+            ]
+            for shard in range(n_shards)
+        ]
+
+    def test_jobs_one_equals_jobs_two(self):
+        shards = self._shards()
+        machine = self._factory()
+        serial = machine.run_sharded(shards, jobs=1, factory=self._factory)
+        parallel = machine.run_sharded(shards, jobs=2, factory=self._factory)
+        assert parallel.as_dict() == serial.as_dict()
+        assert serial["refs"] == sum(len(shard) for shard in shards)
+
+    def test_parallel_requires_factory(self):
+        machine = self._factory()
+        with pytest.raises(ValueError):
+            machine.run_sharded(self._shards(), jobs=2)
+
+    def test_no_shards_is_empty_stats(self):
+        machine = self._factory()
+        assert machine.run_sharded([], jobs=4, factory=self._factory).as_dict() == {}
+
+    def test_no_factory_runs_on_self(self):
+        machine = self._factory()
+        shards = self._shards()
+        merged = machine.run_sharded(shards)
+        assert merged["refs"] == sum(len(shard) for shard in shards)
+        # Sequential mode shares this machine's kernel: the kernel's own
+        # stats advanced too.
+        assert machine.stats["refs"] == merged["refs"]

@@ -48,6 +48,45 @@ class TestBasicCounting:
         assert len(stats) == 0
 
 
+class TestHotPathHelpers:
+    def test_counter_handle_increments(self):
+        stats = Stats()
+        inc_hit = stats.counter("plb.hit")
+        inc_hit()
+        inc_hit(3)
+        assert stats["plb.hit"] == 4
+
+    def test_counter_handle_survives_clear(self):
+        stats = Stats()
+        inc_hit = stats.counter("plb.hit")
+        inc_hit(2)
+        stats.clear()
+        inc_hit()
+        assert stats["plb.hit"] == 1
+
+    def test_inc_many_adds_not_replaces(self):
+        stats = Stats()
+        stats.inc("refs", 5)
+        stats.inc_many({"refs": 1, "plb.hit": 1})
+        stats.inc_many({"refs": 1, "plb.hit": 1})
+        assert stats["refs"] == 7
+        assert stats["plb.hit"] == 2
+
+    def test_inc_many_creates_missing_counters(self):
+        stats = Stats()
+        stats.inc_many({"a.b": 3, "c.d": 0})
+        assert stats["a.b"] == 3
+        assert stats["c.d"] == 0
+
+    def test_inc_many_matches_sequential_inc(self):
+        batched, sequential = Stats(), Stats()
+        counts = {"refs": 2, "dcache.hit": 1, "tlb.miss": 4}
+        batched.inc_many(counts)
+        for name, amount in counts.items():
+            sequential.inc(name, amount)
+        assert batched.as_dict() == sequential.as_dict()
+
+
 class TestPrefixQueries:
     def test_total_sums_dotted_prefix(self):
         stats = Stats()

@@ -15,6 +15,14 @@ The simulator is deterministic (seeded workloads, no wall-clock inputs),
 so the baseline is exact: any drift at all is a real behavior change,
 and growth beyond the threshold fails the build.  Improvements
 (shrinking cycles) never fail, but rebaseline so the guard keeps teeth.
+
+``--throughput`` switches to the replay-speed guard instead: it times
+the hot-replay workload (ARCHITECTURE.md §9) with the fast path off and
+on, and fails when the fast/full *speedup ratio* drops more than 25%
+below the committed baseline.  The ratio is dimensionless, so the guard
+is stable across machines of different absolute speed; absolute refs/s
+are recorded informationally only.  Each mode is timed best-of-3 so one
+scheduler hiccup cannot fail the build.
 """
 
 from __future__ import annotations
@@ -30,6 +38,14 @@ sys.path.insert(0, str(REPO / "src"))
 BASELINE = REPO / "benchmarks" / "baselines" / "table1_cycles.json"
 THRESHOLD = 0.10
 
+THROUGHPUT_BASELINE = REPO / "benchmarks" / "baselines" / "replay_throughput.json"
+THROUGHPUT_THRESHOLD = 0.25
+#: Hot working set (2 pages resident in the default dcache) and enough
+#: references that the memo warmup is amortized.
+THROUGHPUT_PAGES = 2
+THROUGHPUT_REFS = 30_000
+THROUGHPUT_REPS = 3
+
 
 def measure() -> dict[str, dict[str, int]]:
     """Weighted cycles per (workload, model) from the quick runs."""
@@ -43,6 +59,85 @@ def measure() -> dict[str, dict[str, int]]:
             report.model: report.cycles_total for report in result.run_reports
         }
     return matrix
+
+
+def measure_throughput() -> dict[str, dict[str, float]]:
+    """Fast-vs-full replay speedup per model on the hot working set.
+
+    Returns ``{model: {"speedup": ..., "full_refs_per_sec": ...,
+    "fast_refs_per_sec": ...}}``.  Each mode's time is the best of
+    ``THROUGHPUT_REPS`` runs (a regression in the fast path slows every
+    rep; a scheduler hiccup slows one).  Also asserts the two modes
+    produce byte-identical counters — a free equivalence smoke check.
+    """
+    import time
+
+    from repro.core.rights import Rights
+    from repro.os.kernel import MODELS, Kernel
+    from repro.sim.machine import Machine
+    from repro.workloads.tracegen import RefPattern, TraceGenerator
+
+    results: dict[str, dict[str, float]] = {}
+    for model in MODELS:
+        best = {}
+        counters = {}
+        for mode, fast in (("full", False), ("fast", True)):
+            times = []
+            for _ in range(THROUGHPUT_REPS):
+                kernel = Kernel(model)
+                machine = Machine(kernel, fast_path=fast)
+                domain = kernel.create_domain("bench")
+                segment = kernel.create_segment("bench-data", THROUGHPUT_PAGES)
+                kernel.attach(domain, segment, Rights.RW)
+                refs = list(
+                    TraceGenerator(99, kernel.params).refs(
+                        domain.pd_id, segment, THROUGHPUT_REFS, RefPattern()
+                    )
+                )
+                start = time.perf_counter()
+                machine.run(refs)
+                times.append(time.perf_counter() - start)
+                counters[mode] = kernel.stats.as_dict()
+            best[mode] = min(times)
+        if counters["full"] != counters["fast"]:
+            raise AssertionError(
+                f"{model}: fast path diverged from full path counters"
+            )
+        results[model] = {
+            "speedup": round(best["full"] / best["fast"], 3),
+            "full_refs_per_sec": round(THROUGHPUT_REFS / best["full"]),
+            "fast_refs_per_sec": round(THROUGHPUT_REFS / best["fast"]),
+        }
+    return results
+
+
+def check_throughput(current: dict, baseline: dict) -> list[str]:
+    """One failure line per model whose speedup fell >25% below baseline.
+
+    Only the dimensionless speedup ratio gates; absolute refs/s differ
+    per machine and are informational.  Malformed or missing baseline
+    cells fail hard, same as the cycles guard.
+    """
+    failures = []
+    for model, cell in baseline.items():
+        base = cell.get("speedup") if isinstance(cell, dict) else None
+        if not isinstance(base, (int, float)) or isinstance(base, bool) or base <= 0:
+            failures.append(
+                f"{model}: malformed baseline cell {cell!r} "
+                "(expected {'speedup': <positive number>, ...})"
+            )
+            continue
+        now = current.get(model, {}).get("speedup")
+        if now is None:
+            failures.append(f"{model}: model missing from current run")
+            continue
+        drop = (base - now) / base
+        if drop > THROUGHPUT_THRESHOLD:
+            failures.append(
+                f"{model}: fast-path speedup {base:.2f}x -> {now:.2f}x "
+                f"(-{drop * 100:.1f}% > {THROUGHPUT_THRESHOLD * 100:.0f}%)"
+            )
+    return failures
 
 
 def check(current: dict, baseline: dict) -> list[str]:
@@ -88,15 +183,28 @@ def main(argv=None) -> int:
         "--update", action="store_true",
         help="rewrite the committed baseline from this run",
     )
-    parser.add_argument("--baseline", default=str(BASELINE))
+    parser.add_argument(
+        "--throughput", action="store_true",
+        help="guard replay fast-path speedup instead of Table 1 cycles",
+    )
+    parser.add_argument("--baseline", default=None)
     args = parser.parse_args(argv)
-    baseline_path = Path(args.baseline)
+    if args.throughput:
+        default_path, key, measurer, checker, threshold = (
+            THROUGHPUT_BASELINE, "throughput", measure_throughput,
+            check_throughput, THROUGHPUT_THRESHOLD,
+        )
+    else:
+        default_path, key, measurer, checker, threshold = (
+            BASELINE, "cycles", measure, check, THRESHOLD,
+        )
+    baseline_path = Path(args.baseline) if args.baseline else default_path
 
     if args.update:
-        current = measure()
+        current = measurer()
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         with open(baseline_path, "w") as fp:
-            json.dump({"threshold": THRESHOLD, "cycles": current}, fp,
+            json.dump({"threshold": threshold, key: current}, fp,
                       indent=1, sort_keys=True)
             fp.write("\n")
         print(f"baseline updated: {baseline_path}")
@@ -116,14 +224,31 @@ def main(argv=None) -> int:
                   f"JSON ({error}); run with --update to rebuild",
                   file=sys.stderr)
             return 1
-    baseline = data.get("cycles") if isinstance(data, dict) else None
+    baseline = data.get(key) if isinstance(data, dict) else None
     if not isinstance(baseline, dict):
-        print(f"bench regression: baseline {baseline_path} has no 'cycles' "
+        print(f"bench regression: baseline {baseline_path} has no '{key}' "
               "matrix; run with --update to rebuild", file=sys.stderr)
         return 1
 
-    current = measure()
-    failures = check(current, baseline)
+    current = measurer()
+    failures = checker(current, baseline)
+    if args.throughput:
+        if failures:
+            print(f"throughput regression: {len(failures)} of "
+                  f"{len(baseline)} models regressed:")
+            for line in failures:
+                print("  " + line)
+            return 1
+        for model in sorted(current):
+            cell = current[model]
+            print(
+                f"throughput: {model}: {cell['speedup']:.2f}x speedup "
+                f"(full {cell['full_refs_per_sec'] / 1000:.0f}k refs/s, "
+                f"fast {cell['fast_refs_per_sec'] / 1000:.0f}k refs/s)"
+            )
+        print(f"throughput regression: all {len(baseline)} models within "
+              f"{threshold * 100:.0f}% of baseline speedup")
+        return 0
     cells = sum(
         len(models) if isinstance(models, dict) else 1
         for models in baseline.values()
