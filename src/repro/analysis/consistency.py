@@ -1,0 +1,193 @@
+"""§4.1.3 multiprocessor consistency costs, measured on the shootdown bus.
+
+The paper's multiprocessor argument is about *translation/protection
+consistency*: when a rights change or unmap happens on one CPU, how many
+remote structures must be touched before the system is coherent again?
+
+* **PLB** — the change is made to the PLB entries naming the page; a
+  rights change on a shared page costs one interprocessor message per
+  remote CPU, regardless of how many domains share the page.
+* **Page-group** — the shared page lives in one AID-tagged TLB entry per
+  CPU, so again one message per remote CPU.
+* **Conventional** — the page is replicated into every sharing domain's
+  page table and cached under every sharing ASID, so a global rights
+  change costs one invalidation per *sharing domain* per remote CPU.
+
+This module stages exactly that scenario — ``n_domains`` protection
+domains sharing one segment, every CPU's hardware warmed under every
+domain — then measures the remote shootdown traffic
+(``smp.shootdown.*`` / ``smp.tlb_shootdown.*``) that each Table 1 verb
+generates, and renders the comparison as a text table.  The headline
+metric is *remote invalidation messages per rights change on a shared
+page*, which the paper orders PLB ≤ page-group ≤ conventional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.report import format_table
+from repro.core.rights import Rights
+from repro.os.kernel import MODELS, Kernel
+from repro.sim.machine import SMPMachine
+
+#: Verb labels, in table row order.
+VERB_ALL_DOMAINS = "rights change (all domains, one page)"
+VERB_ONE_DOMAIN = "rights change (one domain, one page)"
+VERB_UNMAP = "unmap page"
+VERB_DETACH = "detach segment (one domain)"
+VERBS: tuple[str, ...] = (
+    VERB_ALL_DOMAINS,
+    VERB_ONE_DOMAIN,
+    VERB_UNMAP,
+    VERB_DETACH,
+)
+
+
+@dataclass(frozen=True)
+class VerbCost:
+    """Remote consistency traffic one verb generated.
+
+    ``msgs`` counts interprocessor shootdown messages (IPIs); ``entries``
+    counts hardware entries actually invalidated/updated on remote CPUs.
+    """
+
+    msgs: int
+    entries: int
+
+    def render(self) -> str:
+        return f"{self.msgs} / {self.entries}"
+
+
+@dataclass
+class ConsistencyResult:
+    """One model's measured remote costs for every verb."""
+
+    model: str
+    n_cpus: int
+    n_domains: int
+    costs: dict[str, VerbCost]
+
+    @property
+    def rights_change_msgs(self) -> int:
+        """The headline: remote messages for a shared-page rights change."""
+        return self.costs[VERB_ALL_DOMAINS].msgs
+
+
+def _remote_delta(kernel: Kernel, before) -> VerbCost:
+    delta = kernel.stats.delta(before)
+    msgs = delta["smp.shootdown.msgs"] + delta["smp.tlb_shootdown.msgs"]
+    entries = delta["smp.shootdown.entries"] + delta["smp.tlb_shootdown.entries"]
+    return VerbCost(msgs=msgs, entries=entries)
+
+
+def measure_model(
+    model: str,
+    *,
+    n_cpus: int = 4,
+    n_domains: int = 4,
+    pages: int = 8,
+    n_frames: int = 256,
+) -> ConsistencyResult:
+    """Measure one model's remote shootdown costs in the §4.1.3 scenario.
+
+    ``n_domains`` domains share one ``pages``-page segment read-write;
+    every CPU references every page under every domain, so each CPU's
+    protection hardware holds whatever that model caches for the sharing
+    set (D PLB entries, one AID-tagged entry, or D ASID-tagged entries
+    per page).  Each verb then runs once, on CPU 0, against its own page
+    so the measurements do not disturb each other.
+    """
+    if pages < 4:
+        raise ValueError("the scenario needs at least 4 pages (one per verb)")
+    kernel = Kernel(model, n_frames=n_frames, n_cpus=n_cpus)
+    domains = [kernel.create_domain(f"node{i}") for i in range(n_domains)]
+    shared = kernel.create_segment("shared", pages)
+    for domain in domains:
+        kernel.attach(domain, shared, Rights.RW)
+
+    smp = SMPMachine(kernel)
+    for cpu in range(n_cpus):
+        for domain in domains:
+            for vpn in shared.vpns():
+                smp.touch_on(cpu, domain, kernel.params.vaddr(vpn))
+    # Verbs issue from CPU 0, the paper's "processor making the change".
+    kernel.set_current_cpu(0)
+
+    costs: dict[str, VerbCost] = {}
+
+    before = kernel.stats.snapshot()
+    kernel.set_rights_all_domains(shared.base_vpn, Rights.READ)
+    costs[VERB_ALL_DOMAINS] = _remote_delta(kernel, before)
+
+    before = kernel.stats.snapshot()
+    kernel.set_page_rights(domains[1], shared.base_vpn + 1, Rights.READ)
+    costs[VERB_ONE_DOMAIN] = _remote_delta(kernel, before)
+
+    before = kernel.stats.snapshot()
+    kernel.unmap_page(shared.base_vpn + 2)
+    costs[VERB_UNMAP] = _remote_delta(kernel, before)
+
+    before = kernel.stats.snapshot()
+    kernel.detach(domains[-1], shared)
+    costs[VERB_DETACH] = _remote_delta(kernel, before)
+
+    return ConsistencyResult(model, n_cpus, n_domains, costs)
+
+
+def measure_all(
+    models: Sequence[str] = MODELS,
+    *,
+    n_cpus: int = 4,
+    n_domains: int = 4,
+    pages: int = 8,
+    n_frames: int = 256,
+) -> dict[str, ConsistencyResult]:
+    """Measure every requested model on identical inputs."""
+    return {
+        model: measure_model(
+            model,
+            n_cpus=n_cpus,
+            n_domains=n_domains,
+            pages=pages,
+            n_frames=n_frames,
+        )
+        for model in models
+    }
+
+
+def consistency_table(
+    models: Sequence[str] = MODELS,
+    *,
+    n_cpus: int = 4,
+    n_domains: int = 4,
+    pages: int = 8,
+    n_frames: int = 256,
+) -> str:
+    """The §4.1.3 comparison, rendered: remote msgs/entries per verb."""
+    results = measure_all(
+        models, n_cpus=n_cpus, n_domains=n_domains, pages=pages, n_frames=n_frames
+    )
+    headers = ["verb (on CPU 0)"] + [f"{m} (msgs/entries)" for m in results]
+    rows = [
+        [verb] + [results[model].costs[verb].render() for model in results]
+        for verb in VERBS
+    ]
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"§4.1.3 consistency: remote shootdown traffic "
+            f"({n_cpus} CPUs, {n_domains} domains sharing one segment)"
+        ),
+    )
+    headline = ", ".join(
+        f"{model}={result.rights_change_msgs}" for model, result in results.items()
+    )
+    return (
+        table
+        + "\n\nRemote invalidation messages per shared-page rights change: "
+        + headline
+        + "\n(paper ordering: plb <= pagegroup <= conventional)"
+    )

@@ -23,9 +23,25 @@ from repro.hardware.registers import GLOBAL_PAGE_GROUP
 
 
 def check_invariants(kernel) -> list[str]:
-    """All structural violations in ``kernel``'s hardware state."""
+    """All structural violations in ``kernel``'s hardware state.
+
+    Every CPU's private structures are audited against the shared
+    authority; on a multiprocessor each remote CPU's violations are
+    prefixed ``cpuN:`` (single-CPU messages are unchanged).
+    """
     problems: list[str] = []
-    system = kernel.system
+    many = kernel.n_cpus > 1
+    for ctx in kernel.cpus:
+        local: list[str] = []
+        _check_system(kernel, ctx.system, local)
+        if many:
+            problems.extend(f"cpu{ctx.cpu_id}: {text}" for text in local)
+        else:
+            problems.extend(local)
+    return problems
+
+
+def _check_system(kernel, system, problems: list[str]) -> None:
     if isinstance(system, PLBSystem):
         _check_plb(kernel, system, problems)
         _check_translation_tlb(kernel, system, problems)
@@ -39,7 +55,6 @@ def check_invariants(kernel) -> list[str]:
     elif isinstance(system, ConventionalSystem):
         _check_asid_tlb(kernel, system, problems)
         _check_dcache(kernel, system.dcache, problems)
-    return problems
 
 
 def _excess(granted: Rights, allowed: Rights) -> Rights:

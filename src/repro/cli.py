@@ -30,6 +30,10 @@
 * ``crash-recover`` — sweep a simulated crash through every mutation
   boundary of every journaled kernel verb and verify the intent journal
   restores the authoritative state byte-for-byte.
+* ``smp`` — multiprocessor mode (§4.1.3): print the measured remote
+  shootdown-consistency table for ``--cpus N``, and with ``--plan`` also
+  run a multi-CPU chaos smoke on every model (exit 1 if any seed fails
+  to recover).
 """
 
 from __future__ import annotations
@@ -86,6 +90,39 @@ WORKLOADS = {
 
 class CLIError(Exception):
     """A user-facing command error: printed to stderr, exit status 2."""
+
+
+def _validate_parallelism(
+    *,
+    jobs: int | None = None,
+    cpus: int | None = None,
+    models: Sequence[str] | None = None,
+    jobs_fan_out_models: bool = False,
+) -> None:
+    """One validation path for the CLI's parallelism knobs.
+
+    ``--jobs`` always means *worker processes*; ``--cpus`` always means
+    *simulated CPUs inside one kernel*.  When ``jobs_fan_out_models`` is
+    set (the ``workload`` command), ``--jobs`` parallelizes across the
+    requested models, so asking for workers with a single model is a
+    contradiction we reject instead of silently running sequentially.
+    """
+    if jobs is not None and jobs < 1:
+        raise CLIError("--jobs must be >= 1")
+    if cpus is not None and cpus < 1:
+        raise CLIError("--cpus must be >= 1")
+    if (
+        jobs_fan_out_models
+        and jobs is not None
+        and jobs > 1
+        and models is not None
+        and len(models) < 2
+    ):
+        raise CLIError(
+            f"--jobs {jobs} parallelizes across models, but only "
+            f"{len(models)} model was requested; add models "
+            "(e.g. --models plb,pagegroup) or drop --jobs"
+        )
 
 
 def _workload_factories():
@@ -291,6 +328,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--models", type=_parse_models, default=MODELS,
         help="comma-separated subset of: " + ",".join(MODELS),
     )
+
+    smp = sub.add_parser(
+        "smp",
+        help="multiprocessor consistency table and chaos smoke (§4.1.3)",
+    )
+    smp.add_argument(
+        "--cpus", type=int, default=4, metavar="N",
+        help="simulated CPUs sharing one kernel authority (default 4)",
+    )
+    smp.add_argument(
+        "--models", type=_parse_models, default=MODELS,
+        help="comma-separated subset of: " + ",".join(MODELS),
+    )
+    smp.add_argument(
+        "--domains", type=int, default=4, metavar="D",
+        help="protection domains sharing the measured segment (default 4)",
+    )
+    smp.add_argument(
+        "--pages", type=int, default=8,
+        help="pages in the shared segment (default 8, minimum 4)",
+    )
+    smp.add_argument(
+        "--plan", default=None,
+        help="also run a multi-CPU chaos smoke under this fault plan "
+        "(a preset name, 'none', or a JSON file); exit 1 on unrecovered "
+        "divergence",
+    )
+    smp.add_argument(
+        "--scenario", default="fuzz",
+        help="chaos scenario for --plan runs (default fuzz)",
+    )
+    smp.add_argument(
+        "--seed", default="0",
+        help="chaos seed for --plan runs: '7' or 'LO..HI'",
+    )
+    smp.add_argument(
+        "--ops", type=int, default=120,
+        help="approximate chaos operations per seed (default 120)",
+    )
+    smp.add_argument(
+        "--scrub-every", type=int, default=16, metavar="N",
+        help="run the protection scrubber every N ops (0 disables)",
+    )
     return parser
 
 
@@ -342,9 +422,8 @@ def cmd_workload(name: str, models: Sequence[str], jobs: int = 1) -> str:
             f"unknown workload {name!r}; choose from: "
             + ", ".join(sorted(WORKLOADS) + ["dsm"])
         )
-    if jobs < 1:
-        raise CLIError("--jobs must be >= 1")
-    if jobs > 1 and len(models) > 1:
+    _validate_parallelism(jobs=jobs, models=models, jobs_fan_out_models=True)
+    if jobs > 1:
         import multiprocessing
 
         from repro.analysis.table1 import Table1Result
@@ -415,8 +494,9 @@ def cmd_bench(
 
     from repro.workloads.tracegen import TraceGenerator
 
-    if refs < 1 or pages < 1 or jobs < 1:
-        raise CLIError("--refs, --pages and --jobs must all be >= 1")
+    _validate_parallelism(jobs=jobs)
+    if refs < 1 or pages < 1:
+        raise CLIError("--refs and --pages must be >= 1")
     rows = []
     for model in models:
         probe, domain, segment = _bench_setup(model, pages, True)
@@ -745,6 +825,77 @@ def cmd_chaos(
     return 0
 
 
+def cmd_smp(
+    cpus: int,
+    models: Sequence[str],
+    domains: int,
+    pages: int,
+    plan_text: str | None,
+    scenario: str,
+    seed_text: str,
+    n_ops: int,
+    scrub_every: int,
+) -> int:
+    """The §4.1.3 consistency table, plus an optional multi-CPU chaos smoke."""
+    from repro.analysis.consistency import consistency_table
+
+    _validate_parallelism(cpus=cpus)
+    if domains < 1:
+        raise CLIError("--domains must be >= 1")
+    try:
+        print(
+            consistency_table(
+                tuple(models), n_cpus=cpus, n_domains=domains, pages=pages
+            )
+        )
+    except ValueError as error:
+        raise CLIError(str(error))
+    if plan_text is None:
+        return 0
+
+    import json
+
+    from repro.check import SCENARIOS
+    from repro.faults.chaos import run_chaos
+
+    if scenario not in SCENARIOS:
+        raise CLIError(
+            f"unknown scenario {scenario!r}; choose from: "
+            + ", ".join(sorted(SCENARIOS))
+        )
+    plan = _parse_plan(plan_text)
+    seeds = _parse_seeds(seed_text)
+    failed = 0
+    for model in models:
+        for seed in seeds:
+            result = run_chaos(
+                scenario, model, seed,
+                plan=plan, n_ops=n_ops, scrub_every=scrub_every, n_cpus=cpus,
+            )
+            if result.ok:
+                print(
+                    f"smp chaos {scenario} model={model} seed={seed}: OK "
+                    f"({result.ops_total} ops, {result.refs_checked} refs, "
+                    f"cpus={cpus}, plan={plan_text})"
+                )
+            else:
+                failed += 1
+                print(
+                    f"smp chaos {scenario} model={model} seed={seed}: FAIL — "
+                    + result.divergence.describe()
+                )
+                print("replayable repro dump:")
+                print(json.dumps(result.dump(), indent=2))
+    if failed:
+        print(
+            f"{failed}/{len(models) * len(seeds)} smp chaos runs failed "
+            "to recover",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_crash_recover(models: Sequence[str]) -> int:
     import json
 
@@ -820,6 +971,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
     elif args.command == "crash-recover":
         return cmd_crash_recover(args.models)
+    elif args.command == "smp":
+        return cmd_smp(
+            args.cpus, args.models, args.domains, args.pages, args.plan,
+            args.scenario, args.seed, args.ops, args.scrub_every,
+        )
     return 0
 
 

@@ -97,17 +97,22 @@ class ChaosHarness:
         params: MachineParams = DEFAULT_PARAMS,
         n_frames: int = 256,
         scrub_every: int = 0,
+        n_cpus: int = 1,
     ) -> None:
         self.model = model
         self.params = params
         self.scenario = scenario
         self.scrub_every = scrub_every
+        self.n_cpus = n_cpus
+        #: Round-robin cursor distributing Touch ops over the CPUs.
+        self._next_touch_cpu = 0
         self.gold = GoldModel(params=params)
         self.kernel = Kernel(
             model,
             n_frames=n_frames,
             params=params,
             system_options=scenario.system_options(model),
+            n_cpus=n_cpus,
         )
         self.scrubber = Scrubber(self.kernel)
         self.injector = FaultInjector(plan) if plan is not None else None
@@ -232,7 +237,16 @@ class ChaosHarness:
         return self.pager
 
     def _apply_touch(self, index: int, op: opmod.Touch) -> None:
-        if op.pd != self.gold.current_pd:
+        if self.n_cpus > 1:
+            # Round-robin the reference stream over the CPUs; each CPU
+            # tracks its own current domain, so switch only when this
+            # CPU last ran someone else.
+            cpu = self._next_touch_cpu
+            self._next_touch_cpu = (cpu + 1) % self.n_cpus
+            self.kernel.set_current_cpu(cpu)
+            if self.kernel.system.current_domain != op.pd:
+                self.kernel.switch_to(self.domains[op.pd])
+        elif op.pd != self.gold.current_pd:
             self.kernel.switch_to(self.domains[op.pd])
         vpn = self.params.vpn(op.vaddr)
         # The outcome is NOT compared here: an injected fault may change
@@ -317,6 +331,15 @@ class ChaosHarness:
         stale TLB translations that survived the scrub.
         """
         kernel = self.kernel
+        for cpu in range(self.n_cpus):
+            kernel.set_current_cpu(cpu)
+            divergence = self._sweep_cpu(index, op, cpu)
+            if divergence is not None:
+                return divergence
+        return None
+
+    def _sweep_cpu(self, index: int, op, cpu: int) -> Divergence | None:
+        kernel = self.kernel
         for pd_id in sorted(self.domains):
             kernel.switch_to(self.domains[pd_id])
             for seg in self.gold.segments.values():
@@ -328,6 +351,8 @@ class ChaosHarness:
                         )
                         self.refs_checked += 1
                         where = f"pd {pd_id} vpn {vpn:#x} {access.value}"
+                        if self.n_cpus > 1:
+                            where = f"cpu{cpu} {where}"
                         if (kind, reason) != (expected.kind, expected.reason):
                             return Divergence(
                                 index, op, self.model, "outcome",
@@ -378,6 +403,7 @@ class ChaosResult:
     counters: dict = field(default_factory=dict)
     divergence: Divergence | None = None
     span_trail: list = field(default_factory=list)
+    n_cpus: int = 1
 
     def dump(self) -> dict:
         """The repro as a plain JSON-able dict.
@@ -393,6 +419,7 @@ class ChaosResult:
             "model": self.model,
             "seed": self.seed,
             "n_ops": self.ops_total,
+            "n_cpus": self.n_cpus,
             "plan": self.plan.to_dict() if self.plan is not None else None,
             "divergence": {
                 "op_index": d.op_index,
@@ -433,8 +460,14 @@ def run_chaos(
     n_ops: int = 120,
     scrub_every: int = 16,
     n_frames: int = 256,
+    n_cpus: int = 1,
 ) -> ChaosResult:
-    """Run one seeded chaos campaign; on divergence, re-run traced."""
+    """Run one seeded chaos campaign; on divergence, re-run traced.
+
+    With ``n_cpus > 1`` the reference stream is distributed round-robin
+    over the CPUs (kernel verbs issue from whichever CPU ran last) and
+    the end-state sweep audits every CPU's hardware against gold.
+    """
     spec = opmod.SCENARIOS[scenario_name]
     ops = opmod.generate_ops(spec, seed, n_ops)
     fault_plan = _resolve_plan(plan, seed, n_ops)
@@ -442,17 +475,17 @@ def run_chaos(
     def factory() -> ChaosHarness:
         return ChaosHarness(
             model, scenario=spec, plan=fault_plan,
-            scrub_every=scrub_every, n_frames=n_frames,
+            scrub_every=scrub_every, n_frames=n_frames, n_cpus=n_cpus,
         )
 
     harness = factory()
     report = harness.run(ops)
-    counters = recovery_counters(harness.kernel.stats)
+    counters = recovery_counters(harness.kernel.merged_stats())
     if report.ok:
         return ChaosResult(
             scenario=scenario_name, model=model, seed=seed, plan=fault_plan,
             ok=True, ops_total=len(ops), refs_checked=report.refs_checked,
-            counters=counters,
+            counters=counters, n_cpus=n_cpus,
         )
     # Deterministic traced re-run: same plan, fresh injector, so the
     # repro dump carries the span trail into the divergence.
@@ -464,7 +497,7 @@ def run_chaos(
         scenario=scenario_name, model=model, seed=seed, plan=fault_plan,
         ok=False, ops_total=len(ops), refs_checked=report.refs_checked,
         counters=counters, divergence=final,
-        span_trail=_span_trail(traced.tracer),
+        span_trail=_span_trail(traced.tracer), n_cpus=n_cpus,
     )
 
 

@@ -13,8 +13,13 @@ records.  Each event names a *site* (where the fault strikes), a *kind*
   resident protection entry's rights, ``tag_flip`` re-tags one (wrong
   domain / wrong AID), ``mce`` raises a machine check through the
   kernel's handler, ``degrade`` disables a flaky PLB/TLB level.
-* ``shootdown`` events count protection-invalidation operations —
-  ``drop`` swallows one, ``delay`` defers it by ``arg`` workload ops.
+* ``shootdown`` events count protection-invalidation messages on the
+  kernel's shootdown bus — ``drop`` swallows one, ``delay`` defers it
+  by ``arg`` workload ops.  Only *protection* messages are
+  interceptable; translation invalidations are never offered to the
+  injector (see :class:`~repro.os.smp.ShootdownBus`): a dropped
+  translation shootdown would let a CPU read a released frame, which
+  is a harness crash, not a modelled fault.
 * ``authority`` events corrupt the authoritative tables themselves
   (``corrupt_authority``) — deliberately *unrecoverable*, used to prove
   the chaos harness detects real divergence and exits non-zero.
@@ -207,10 +212,12 @@ class FaultInjector:
 
     The injector keeps its own per-site counters (plain ints, never
     Stats, so an idle injector perturbs nothing).  ``arm`` attaches the
-    disk hook and wraps the model's protection-invalidation methods;
-    ``disarm`` restores everything.  The driver calls ``tick(op_index)``
-    before each workload op to fire op-indexed events and replay delayed
-    shootdowns, and ``flush_delayed`` before end-state verification.
+    disk hook and installs itself as the shootdown bus's interception
+    hook — real bus messages are dropped or delayed, on any CPU, rather
+    than method calls being wrapped; ``disarm`` restores everything.
+    The driver calls ``tick(op_index)`` before each workload op to fire
+    op-indexed events and replay delayed shootdowns, and
+    ``flush_delayed`` before end-state verification.
     """
 
     def __init__(self, plan: FaultPlan) -> None:
@@ -223,7 +230,6 @@ class FaultInjector:
         self._op_index = -1
         self._fired: set[int] = set()  # indices into plan.events, fire-once kinds
         self._delayed: list[_Delayed] = []
-        self._unwraps: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------------ #
     # Arming
@@ -231,63 +237,39 @@ class FaultInjector:
     def arm(self, kernel) -> None:
         if self.kernel is not None:
             raise RuntimeError("injector is already armed")
+        if kernel.bus.hook is not None:
+            raise RuntimeError("another injector already hooks this kernel's bus")
         self.kernel = kernel
         kernel.backing.injector = self
-        system = kernel.system
-        model = system.model_name
-        if model == "plb":
-            for name in (
-                "invalidate",
-                "update_rights",
-                "purge_domain_range",
-                "sweep_domain_range",
-                "update_entries_for_page",
-                "purge_page",
-            ):
-                neutral = 0 if name in ("invalidate", "update_rights") else (0, 0)
-                self._wrap(system.plb, name, neutral)
-        elif model == "pagegroup":
-            self._wrap(system.tlb, "update", False)
-            self._wrap(system.groups, "drop", False)
-        else:
-            self._wrap(system.tlb, "update_rights", False)
-            self._wrap(system.tlb, "invalidate_domain_range", (0, 0))
+        kernel.bus.hook = self._intercept
 
     def disarm(self) -> None:
         if self.kernel is None:
             return
         self.flush_delayed()
         self.kernel.backing.injector = None
-        for undo in self._unwraps:
-            undo()
-        self._unwraps.clear()
+        self.kernel.bus.hook = None
         self.kernel = None
 
-    def _wrap(self, obj, name: str, neutral) -> None:
-        """Route a protection-invalidation method through the shootdown site.
+    def _intercept(self, message) -> bool:
+        """Shootdown-bus hook: maybe drop or delay one invalidation.
 
-        Translation invalidations are deliberately *not* wrapped: a
-        dropped translation shootdown would let the simulator read a
-        released frame, which is a harness crash, not a modelled fault.
+        The bus only offers *protection* messages; translation
+        invalidations are never interceptable (the contract the old
+        method-wrapping site documented, now enforced structurally by
+        :class:`~repro.os.smp.ShootdownBus`).  Returns True when the
+        message was swallowed (dropped, or queued for delayed replay on
+        its target CPU).
         """
-        original = getattr(obj, name)
-
-        def wrapped(*args, **kwargs):
-            event = self._match_shootdown()
-            if event is None:
-                return original(*args, **kwargs)
-            self._record(event)
-            if event.kind == "delay":
-                self._delayed.append(
-                    _Delayed(
-                        fire_at=self._op_index + event.arg,
-                        replay=lambda: original(*args, **kwargs),
-                    )
-                )
-            return neutral
-
-        setattr(obj, name, wrapped)
-        self._unwraps.append(lambda: setattr(obj, name, original))
+        event = self._match_shootdown()
+        if event is None:
+            return False
+        self._record(event)
+        if event.kind == "delay":
+            self._delayed.append(
+                _Delayed(fire_at=self._op_index + event.arg, replay=message.fire)
+            )
+        return True
 
     # ------------------------------------------------------------------ #
     # Site streams

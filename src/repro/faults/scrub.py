@@ -33,25 +33,37 @@ class Scrubber:
         self.kernel = kernel
 
     def scrub(self) -> int:
-        """One full pass over every protection structure; returns repairs."""
+        """One full pass over every CPU's protection structures.
+
+        Returns total repairs.  On a multiprocessor the scrubber visits
+        each CPU's private hardware in CPU order — a dropped shootdown
+        leaves exactly one CPU stale, and only that CPU's replay memo
+        needs invalidating.
+        """
         kernel = self.kernel
         kernel.stats.inc("scrub.runs")
+        total = 0
         with kernel.tracer.span("scrub.run"):
-            system = kernel.system
-            if isinstance(system, PLBSystem):
-                repairs = self._scrub_plb(system)
-            elif isinstance(system, PageGroupSystem):
-                repairs = self._scrub_aid_tlb(system) + self._scrub_holder(system)
-            elif isinstance(system, ConventionalSystem):
-                repairs = self._scrub_asid_tlb(system)
-            else:  # pragma: no cover - no other systems exist
-                repairs = 0
-        if repairs:
-            # Repairs rewrite entries in place (object identity kept), so
-            # the replay memo must be invalidated explicitly.
-            kernel.bump_epoch()
-            kernel.stats.inc("scrub.repairs", repairs)
-        return repairs
+            for ctx in kernel.cpus:
+                repairs = self._scrub_system(ctx.system)
+                if repairs:
+                    # Repairs rewrite entries in place (object identity
+                    # kept), so the replay memo must be invalidated
+                    # explicitly — on the CPU that was repaired.
+                    kernel.bump_epoch_for_cpu(ctx.cpu_id)
+                    total += repairs
+        if total:
+            kernel.stats.inc("scrub.repairs", total)
+        return total
+
+    def _scrub_system(self, system) -> int:
+        if isinstance(system, PLBSystem):
+            return self._scrub_plb(system)
+        if isinstance(system, PageGroupSystem):
+            return self._scrub_aid_tlb(system) + self._scrub_holder(system)
+        if isinstance(system, ConventionalSystem):
+            return self._scrub_asid_tlb(system)
+        return 0  # pragma: no cover - no other systems exist
 
     # ------------------------------------------------------------------ #
     # PLB system

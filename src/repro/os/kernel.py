@@ -1,26 +1,29 @@
 """The single address space operating system kernel.
 
-The kernel owns the global structures of a SASOS — one translation table
-shared by all domains, the segment registry, the protection-domain
-records and the page-group tables — and drives one of the three memory
-systems from :mod:`repro.core.mmu`.  It implements the systems' *source*
-protocols (supplying protection and translation mappings on hardware
-misses) and exposes the operating-system operations whose costs the
-paper's Table 1 catalogues: segment attach/detach, per-page and
-per-segment permission changes, page-group manipulation, page unmapping
-and protection-domain switches.
+The kernel fronts a shared :class:`~repro.os.authority.Authority` — one
+translation table shared by all domains, the segment registry, the
+protection-domain records and the page-group tables — and drives one
+:class:`~repro.os.smp.CpuContext` per CPU, each with its own memory
+system from :mod:`repro.core.mmu` (PLB/TLB/group holder/L1).  It
+implements the systems' *source* protocols (supplying protection and
+translation mappings on hardware misses) and exposes the
+operating-system operations whose costs the paper's Table 1 catalogues:
+segment attach/detach, per-page and per-segment permission changes,
+page-group manipulation, page unmapping and protection-domain switches.
 
 Model-specific behaviour is delegated to a strategy object
 (:class:`PLBOps`, :class:`PageGroupOps`, :class:`ConventionalOps`); each
 strategy performs exactly the hardware-structure manipulations the paper
-prescribes for its column of Table 1, charging them to the shared stats
-object, so benchmark comparisons between models fall directly out of the
-counters.
+prescribes for its column of Table 1.  Every invalidation travels the
+:class:`~repro.os.smp.ShootdownBus`: applied synchronously on the
+issuing CPU (free, exactly the single-CPU behaviour) and broadcast to
+remote CPUs with per-model cost accounting (§4.1.3), so the
+multiprocessor consistency comparison falls directly out of the
+``smp.shootdown.*`` counters.
 """
 
 from __future__ import annotations
 
-import bisect
 from typing import Callable, Iterable
 
 from repro.core.conventional import LinearPageTable
@@ -38,13 +41,12 @@ from repro.core.mmu import (
 from repro.core.params import MachineParams, DEFAULT_PARAMS
 from repro.core.rights import Rights
 from repro.faults.errors import MachineCheck
-from repro.hardware.backing import BackingStore
-from repro.hardware.memory import PhysicalMemory
 from repro.hardware.registers import PIDEntry
 from repro.obs.tracer import NULL_TRACER
+from repro.os.authority import Authority
 from repro.os.domain import ProtectionDomain
-from repro.os.pagetable import GlobalTranslationTable, GroupTable
-from repro.os.segment import AddressSpaceAllocator, VirtualSegment
+from repro.os.segment import VirtualSegment
+from repro.os.smp import TRANSLATION, CpuContext, ShootdownBus
 from repro.sim.stats import Stats
 
 #: The memory-system models a kernel can run on.
@@ -63,22 +65,28 @@ class KernelError(RuntimeError):
 
 
 class Kernel:
-    """A single address space OS instance over one memory system.
+    """A single address space OS instance over N per-CPU memory systems.
 
     Args:
         model: ``"plb"``, ``"pagegroup"`` or ``"conventional"``.
         n_frames: Physical memory size in page frames.
         params: Machine parameters shared with the hardware.
-        system_options: Extra keyword arguments forwarded to the memory
-            system constructor (PLB size, group-cache capacity, cache
-            organization, ...).
+        system_options: Extra keyword arguments forwarded to every CPU's
+            memory system constructor (PLB size, group-cache capacity,
+            cache organization, ...).
         inverted_table: Back the global translation table with the
             801-style inverted page table (§3.1) instead of the plain
             map — same semantics, adds hash-probe accounting.
-        stats: Shared event sink; created when omitted.
+        stats: Shared event sink; created when omitted.  Kernel verbs,
+            authority traffic and CPU 0's hardware charge here; remote
+            CPUs keep private sinks (see :meth:`merged_stats`).
         tracer: Optional :class:`~repro.obs.tracer.Tracer` watching the
             shared stats; kernel verbs, fault dispatch and (sampled)
             references open spans on it.  Defaults to the no-op tracer.
+        n_cpus: Hardware contexts to build.  Each CPU gets its own
+            PLB/TLB/group holder/L1; rights changes reach remote CPUs
+            over the shootdown bus.  The default (1) is byte-identical
+            to the pre-SMP simulator.
     """
 
     def __init__(
@@ -91,39 +99,38 @@ class Kernel:
         inverted_table: bool = False,
         stats: Stats | None = None,
         tracer=None,
+        n_cpus: int = 1,
     ) -> None:
         if model not in MODELS:
             raise ValueError(f"unknown model {model!r}; expected one of {MODELS}")
+        if n_cpus < 1:
+            raise ValueError(f"n_cpus must be >= 1, got {n_cpus}")
         self.model = model
         self.params = params
         self.stats = stats if stats is not None else Stats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.memory = PhysicalMemory(n_frames, page_size=params.page_size, stats=self.stats)
-        self.backing = BackingStore(stats=self.stats)
-        if inverted_table:
-            from repro.os.inverted import InvertedPageTable
+        #: Shared OS state: the tables every CPU's hardware refills from.
+        self.authority = Authority(
+            n_frames=n_frames,
+            params=params,
+            stats=self.stats,
+            inverted_table=inverted_table,
+        )
+        # Historical attribute names alias the authority's containers
+        # (same objects, mutated in place) so existing callers — and the
+        # injector's authority-corruption site — are untouched.
+        self.memory = self.authority.memory
+        self.backing = self.authority.backing
+        self.translations = self.authority.translations
+        self.group_table = self.authority.group_table
+        self.allocator = self.authority.allocator
+        self.domains = self.authority.domains
+        self.segments = self.authority.segments
+        self._segment_bases = self.authority.segment_bases
+        self._segments_by_base = self.authority.segments_by_base
+        self.linear_tables = self.authority.linear_tables
+        self._contiguous = self.authority.contiguous
 
-            self.translations: GlobalTranslationTable = InvertedPageTable(
-                n_frames, stats=self.stats
-            )  # type: ignore[assignment]
-        else:
-            self.translations = GlobalTranslationTable()
-        self.group_table = GroupTable()
-        self.allocator = AddressSpaceAllocator()
-
-        self.domains: dict[int, ProtectionDomain] = {}
-        self.segments: dict[int, VirtualSegment] = {}
-        self._segment_bases: list[int] = []
-        self._segments_by_base: dict[int, VirtualSegment] = {}
-        self._next_pd = 1
-        self._next_seg = 1
-        self._next_aid = 1
-        #: Conventional-model space-accounting mirrors (per-domain linear
-        #: page tables, Section 3.1).
-        self.linear_tables: dict[int, LinearPageTable] = {}
-        #: Segments with physically contiguous frames eligible for one
-        #: superpage translation: seg_id -> base frame (Section 4.3).
-        self._contiguous: dict[int, int] = {}
         self._protection_handlers: list[Callable[[ProtectionFault], bool]] = []
         self._page_fault_handlers: list[Callable[[PageFault], bool]] = []
         #: Machine-check bookkeeping: per-structure fault counts, for the
@@ -137,33 +144,92 @@ class Kernel:
         #: (attach/detach, rights changes, unmap, domain switch, fault
         #: handling, injected corruption, ...) bumps it, and the memo in
         #: :class:`~repro.sim.machine.Machine` discards everything cached
-        #: under an older epoch.
+        #: under an older epoch.  Holds the *current* CPU's epoch; the
+        #: other CPUs' epochs park in their :class:`CpuContext` and are
+        #: swapped by :meth:`set_current_cpu`.
         self.mutation_epoch = 0
 
         options = dict(system_options or {})
-        self.system: MemorySystem = self._build_system(model, options)
+        self.n_cpus = n_cpus
+        #: Per-CPU hardware contexts.  CPU 0 shares the kernel stats so
+        #: single-CPU runs charge exactly where the pre-SMP simulator
+        #: did; remote CPUs keep private sinks.
+        self.cpus: list[CpuContext] = []
+        for cpu_id in range(n_cpus):
+            cpu_stats = self.stats if cpu_id == 0 else Stats()
+            system = self._build_system(model, options, cpu_stats)
+            self.cpus.append(CpuContext(cpu_id, system, cpu_stats))
+        self.current_cpu = 0
+        #: The *current* CPU's memory system (plain attribute: the replay
+        #: hot path reads it every touch); rebound by set_current_cpu.
+        self.system: MemorySystem = self.cpus[0].system
+        #: Invalidation transport to remote CPUs (and the fault
+        #: injector's shootdown interception point).
+        self.bus = ShootdownBus(self)
         self.ops: ModelOps = {
             "plb": PLBOps,
             "pagegroup": PageGroupOps,
             "conventional": ConventionalOps,
         }[model](self)
         if self.tracer.active:
-            self.system.attach_tracer(self.tracer)
+            for ctx in self.cpus:
+                ctx.system.attach_tracer(self.tracer)
 
     def attach_tracer(self, tracer) -> None:
-        """Start (or stop) tracing this kernel and its memory system."""
+        """Start (or stop) tracing this kernel and its memory systems."""
         self.tracer = tracer
-        self.system.attach_tracer(tracer)
+        for ctx in self.cpus:
+            ctx.system.attach_tracer(tracer)
         # Tracing changes what a reference does (span per access): drop
         # memoized hits recorded against the untraced path.
         self.bump_epoch()
 
-    def _build_system(self, model: str, options: dict) -> MemorySystem:
+    def _build_system(self, model: str, options: dict, stats: Stats) -> MemorySystem:
         if model == "plb":
-            return PLBSystem(self, self, params=self.params, stats=self.stats, **options)
+            return PLBSystem(self, self, params=self.params, stats=stats, **options)
         if model == "pagegroup":
-            return PageGroupSystem(self, params=self.params, stats=self.stats, **options)
-        return ConventionalSystem(self, params=self.params, stats=self.stats, **options)
+            return PageGroupSystem(self, params=self.params, stats=stats, **options)
+        return ConventionalSystem(self, params=self.params, stats=stats, **options)
+
+    # ------------------------------------------------------------------ #
+    # CPUs
+
+    def set_current_cpu(self, cpu_id: int) -> None:
+        """Run the kernel's next work on ``cpu_id``'s hardware.
+
+        Parks the outgoing CPU's mutation epoch in its context and
+        restores the incoming one, so each CPU's replay memo stays valid
+        across interleavings (a remote CPU's memo only dies when a
+        shootdown actually reached it).
+        """
+        if cpu_id == self.current_cpu:
+            return
+        if not 0 <= cpu_id < self.n_cpus:
+            raise KernelError(f"no CPU {cpu_id} (have {self.n_cpus})")
+        self.cpus[self.current_cpu].mutation_epoch = self.mutation_epoch
+        ctx = self.cpus[cpu_id]
+        self.current_cpu = cpu_id
+        self.system = ctx.system
+        self.mutation_epoch = ctx.mutation_epoch
+
+    def bump_epoch_for_cpu(self, cpu_id: int) -> None:
+        """Invalidate one CPU's memoized fast-path hits."""
+        if cpu_id == self.current_cpu:
+            self.mutation_epoch += 1
+        else:
+            self.cpus[cpu_id].mutation_epoch += 1
+
+    def merged_stats(self) -> Stats:
+        """All CPUs' counters merged deterministically (CPU order).
+
+        With one CPU this equals ``kernel.stats`` exactly; with more it
+        adds the remote contexts' hardware events.
+        """
+        merged = Stats()
+        merged.merge(self.stats)
+        for ctx in self.cpus[1:]:
+            merged.merge(ctx.stats)
+        return merged
 
     # ------------------------------------------------------------------ #
     # Kernel-entry accounting
@@ -200,11 +266,7 @@ class Kernel:
 
     def segment_at(self, vpn: int) -> VirtualSegment | None:
         """The segment containing ``vpn``, if any (binary search)."""
-        idx = bisect.bisect_right(self._segment_bases, vpn) - 1
-        if idx < 0:
-            return None
-        segment = self._segments_by_base[self._segment_bases[idx]]
-        return segment if segment.contains(vpn) else None
+        return self.authority.segment_at(vpn)
 
     def rights_for(self, pd_id: int, vpn: int) -> ProtectionInfo | None:
         """ProtectionSource: the PLB refill path."""
@@ -305,8 +367,7 @@ class Kernel:
     def create_domain(self, name: str) -> ProtectionDomain:
         """Create an (initially empty) protection domain."""
         self._trap("create_domain")
-        domain = ProtectionDomain(pd_id=self._next_pd, name=name)
-        self._next_pd += 1
+        domain = ProtectionDomain(pd_id=self.authority.new_pd_id(), name=name)
         self.domains[domain.pd_id] = domain
         if self.model == "conventional":
             self.linear_tables[domain.pd_id] = LinearPageTable(self.params)
@@ -343,15 +404,15 @@ class Kernel:
             base = self.allocator.allocate(n_pages)
         else:
             base = self.allocator.reserve(base_vpn, n_pages)
-        aid = self._next_aid
-        self._next_aid += 1
+        aid = self.authority.new_aid()
         segment = VirtualSegment(
-            seg_id=self._next_seg, name=name, base_vpn=base, n_pages=n_pages, aid=aid
+            seg_id=self.authority.new_seg_id(),
+            name=name,
+            base_vpn=base,
+            n_pages=n_pages,
+            aid=aid,
         )
-        self._next_seg += 1
-        self.segments[segment.seg_id] = segment
-        bisect.insort(self._segment_bases, base)
-        self._segments_by_base[base] = segment
+        self.authority.register_segment(segment)
         if contiguous:
             frames = self.memory.allocate_contiguous(n_pages)
             self._contiguous[segment.seg_id] = frames[0].pfn
@@ -369,9 +430,7 @@ class Kernel:
 
     def create_page_group(self) -> int:
         """Allocate a fresh page-group identifier (page-group model)."""
-        aid = self._next_aid
-        self._next_aid += 1
-        return aid
+        return self.authority.new_aid()
 
     def destroy_segment(self, segment: VirtualSegment) -> None:
         """Destroy a segment: detach everyone, free pages, forget state.
@@ -391,9 +450,7 @@ class Kernel:
             self.translations.forget(vpn)
             self.group_table.forget(vpn)
             self.backing.discard(vpn)
-        del self.segments[segment.seg_id]
-        self._segment_bases.remove(segment.base_vpn)
-        del self._segments_by_base[segment.base_vpn]
+        self.authority.forget_segment(segment)
 
     # ------------------------------------------------------------------ #
     # The Table 1 verbs (model-dispatched)
@@ -464,21 +521,33 @@ class Kernel:
     def grant_group(
         self, domain: ProtectionDomain, aid: int, *, write_disable: bool = False
     ) -> None:
-        """Give a domain access to a page-group (one PID-table update)."""
+        """Give a domain access to a page-group (one PID-table update).
+
+        Grants are lazy across CPUs: a remote CPU running the domain
+        picks the group up on its next group miss — no shootdown.
+        """
         self._trap("grant_group")
         system = self._require_pagegroup()
         entry = domain.grant_group(aid, write_disable=write_disable)
-        if self.system.current_domain == domain.pd_id:
+        if system.current_domain == domain.pd_id:
             system.groups.install(entry)
 
     def revoke_group(self, domain: ProtectionDomain, aid: int) -> None:
-        """Remove a domain's access to a page-group."""
+        """Remove a domain's access to a page-group.
+
+        Revocation must reach every CPU currently running the domain:
+        their group holders cache the revoked membership.
+        """
         self._trap("revoke_group")
-        system = self._require_pagegroup()
+        self._require_pagegroup()
         domain.revoke_group(aid)
         self._verb_step("revoked")
-        if self.system.current_domain == domain.pd_id:
-            system.groups.drop(aid)
+        pd_id = domain.pd_id
+        self.bus.shootdown(
+            "revoke_group",
+            lambda system: int(system.groups.drop(aid)),
+            predicate=lambda ctx: ctx.system.current_domain == pd_id,
+        )
 
     def move_page_to_group(self, vpn: int, aid: int, *, rights: Rights | None = None) -> int:
         """Reassign a page to another group; updates the TLB entry in place.
@@ -488,25 +557,32 @@ class Kernel:
         page group", Table 1).
         """
         self._trap("move_page")
-        system = self._require_pagegroup()
+        self._require_pagegroup()
         old = self.group_table.move(vpn, aid)
         self._verb_step("moved")
         if rights is not None:
             self.group_table.set_rights(vpn, rights)
             self._verb_step("rights_set")
-        system.tlb.update(vpn, rights=rights, aid=aid)
+        self.bus.shootdown(
+            "move_page",
+            lambda system: int(system.tlb.update(vpn, rights=rights, aid=aid)),
+        )
         return old
 
     def set_page_rights_global(self, vpn: int, rights: Rights) -> None:
         """Rewrite a page's global rights field (page-group model).
 
         The page-group model's cheap path: "the change is easily made in
-        a single TLB entry" when it applies to all domains (§4.1.2).
+        a single TLB entry" when it applies to all domains (§4.1.2) —
+        one entry per CPU on a multiprocessor.
         """
         self._trap("set_page_rights_global")
-        system = self._require_pagegroup()
+        self._require_pagegroup()
         self.group_table.set_rights(vpn, rights)
-        system.tlb.update(vpn, rights=rights)
+        self.bus.shootdown(
+            "set_rights_global",
+            lambda system: int(system.tlb.update(vpn, rights=rights)),
+        )
 
     # ------------------------------------------------------------------ #
     # Physical memory management
@@ -533,6 +609,9 @@ class Kernel:
         translation.  Protection state is untouched: on the PLB system
         "no maintenance of the PLB is required" — stale entries drain by
         replacement, and any touch faults on the missing translation.
+        On a multiprocessor the flush + TLB invalidate is broadcast to
+        every remote CPU as a *translation* shootdown — the one message
+        class the fault injector may never drop.
         Returns the freed frame number (still allocated; the caller
         releases or recycles it).
         """
@@ -558,6 +637,21 @@ class Kernel:
                     # recycled for another page.
                     l2.flush_frame(pfn)
             self.ops.invalidate_translation(vpn)
+            if self.n_cpus > 1:
+                ops = self.ops
+
+                def _remote_unmap(system, vpn=vpn, pfn=pfn, flush=flush_cache):
+                    if flush:
+                        if system.dcache.org.virtually_tagged:
+                            system.dcache.flush_page(vpn)
+                        else:
+                            system.dcache.flush_frame(pfn)
+                        l2 = getattr(system, "l2", None)
+                        if l2 is not None:
+                            l2.flush_frame(pfn)
+                    return ops.invalidate_translation_on(system, vpn)
+
+                self.bus.broadcast_remote("unmap_page", _remote_unmap, kind=TRANSLATION)
             self.ops.on_unmap(vpn)
             self.translations.unmap(vpn)
         return pfn
@@ -628,6 +722,9 @@ class Kernel:
         strikes) is taken offline entirely — the PLB system can run with
         a disabled PLB or TLB by walking the tables on every reference,
         at a cost visible in the ``*.disabled_walk`` counters.
+
+        Machine checks are CPU-local: the *current* CPU's structures are
+        degraded and rebuilt; other CPUs' caches were never suspect.
         """
         self._trap("machine_check")
         self.stats.inc("kernel.fault.machine_check")
@@ -652,7 +749,9 @@ class Kernel:
 
         With ``pd_id`` the rebuild is scoped to one domain where the
         model allows it; otherwise every cached protection mapping is
-        discarded and refaults lazily from the attachment tables.
+        discarded and refaults lazily from the attachment tables.  The
+        rebuild is local to the current CPU — soft state elsewhere was
+        never corrupted, and refaults from the same authority anyway.
         """
         self.bump_epoch()
         self.stats.inc("kernel.rebuild_protection")
@@ -663,7 +762,7 @@ class Kernel:
     # Introspection
 
     def attached_domains(self, segment: VirtualSegment) -> list[ProtectionDomain]:
-        return [d for d in self.domains.values() if d.is_attached(segment.seg_id)]
+        return self.authority.attached_domains(segment)
 
 
 # --------------------------------------------------------------------- #
@@ -671,7 +770,13 @@ class Kernel:
 
 
 class ModelOps:
-    """Model-specific implementations of the Table 1 verbs."""
+    """Model-specific implementations of the Table 1 verbs.
+
+    Hardware invalidations are expressed as *actions* — callables taking
+    the target CPU's memory system and returning the entries touched —
+    and routed through the kernel's :class:`~repro.os.smp.ShootdownBus`,
+    which applies them locally and broadcasts them to remote CPUs.
+    """
 
     def __init__(self, kernel: Kernel) -> None:
         self.kernel = kernel
@@ -694,6 +799,11 @@ class ModelOps:
         raise NotImplementedError
 
     def invalidate_translation(self, vpn: int) -> None:
+        """Drop the local CPU's translation for ``vpn``."""
+        self.invalidate_translation_on(self.kernel.system, vpn)
+
+    def invalidate_translation_on(self, system: MemorySystem, vpn: int) -> int:
+        """Drop one CPU's translation for ``vpn``; returns entries gone."""
         raise NotImplementedError
 
     def rebuild_protection(self, pd_id: int | None = None) -> None:
@@ -719,47 +829,57 @@ class PLBOps(ModelOps):
     def attach(self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights) -> None:
         # "The operating system simply marks the segment as accessible
         # by the protection domain; no hardware structures need to be
-        # manipulated" — entries fault in lazily (Table 1).
+        # manipulated" — entries fault in lazily (Table 1), on every CPU.
         domain.attachments[segment.seg_id] = rights
 
     def detach(self, domain: ProtectionDomain, segment: VirtualSegment) -> None:
         # "Purge the PLB or inspect each entry and eliminate those for
-        # the segment-domain pair affected" (Table 1).
+        # the segment-domain pair affected" (Table 1) — on each CPU.
         del domain.attachments[segment.seg_id]
         domain.clear_overrides_in(segment.base_vpn, segment.end_vpn)
         self.kernel._verb_step("detached")
-        self.system.plb.purge_domain_range(domain.pd_id, segment.base_vpn, segment.end_vpn)
+        pd_id, lo, hi = domain.pd_id, segment.base_vpn, segment.end_vpn
+        self.kernel.bus.shootdown(
+            "detach",
+            lambda system: system.plb.purge_domain_range(pd_id, lo, hi)[1],
+        )
 
     def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
         # "Changing a domain's access rights to a page simply requires
-        # updating a PLB entry" (§4.1.2).
+        # updating a PLB entry" (§4.1.2) — one entry per CPU.
         domain.page_overrides[vpn] = rights
-        plb = self.system.plb
+        pd_id = domain.pd_id
         vaddr = self.kernel.params.vaddr(vpn)
-        if plb.levels == (0,):
-            plb.update_rights(domain.pd_id, vaddr, rights)
-        elif min(plb.levels) >= 0:
-            # A superpage entry covering this page spoke for the old
-            # uniform rights and cannot express the exception; the page
-            # entry holds the old rights.  Drop the domain's covering
-            # entries at every level with indexed probes (cheaper than a
-            # full associative sweep); new rights fault in lazily at page
-            # granularity.
-            plb.invalidate(domain.pd_id, vaddr)
-        else:
+
+        def action(system, pd_id=pd_id, vaddr=vaddr, vpn=vpn, rights=rights):
+            plb = system.plb
+            if plb.levels == (0,):
+                return plb.update_rights(pd_id, vaddr, rights)
+            if min(plb.levels) >= 0:
+                # A superpage entry covering this page spoke for the old
+                # uniform rights and cannot express the exception; drop
+                # the domain's covering entries at every level with
+                # indexed probes, new rights fault in lazily per page.
+                return plb.invalidate(pd_id, vaddr)
             # Sub-page units: many units lie inside one page, beyond the
             # reach of a single indexed probe — sweep the range.
-            plb.purge_domain_range(domain.pd_id, vpn, vpn + 1)
+            return plb.purge_domain_range(pd_id, vpn, vpn + 1)[1]
+
+        self.kernel.bus.shootdown("set_page_rights", action)
 
     def set_rights_all(self, vpn: int, rights: Rights) -> None:
         # One PLB entry per domain with access must change (§4.1.3: "the
         # number of entries changed depends on the number of domains
-        # that have access to the page").
+        # that have access to the page") — but only *one* message per
+        # CPU: the sweep rewrites every cached entry for the page.
         segment = self.kernel.segment_at(vpn)
         if segment is not None:
             for domain in self.kernel.attached_domains(segment):
                 domain.page_overrides[vpn] = rights
-        self.system.plb.update_entries_for_page(vpn, rights)
+        self.kernel.bus.shootdown(
+            "set_rights_all",
+            lambda system: system.plb.update_entries_for_page(vpn, rights)[1],
+        )
 
     def set_segment_rights(
         self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
@@ -768,14 +888,16 @@ class PLBOps(ModelOps):
         # exceptions, and sweep-update the domain's resident entries.
         domain.attachments[segment.seg_id] = rights
         domain.clear_overrides_in(segment.base_vpn, segment.end_vpn)
-        self.system.plb.sweep_domain_range(
-            domain.pd_id, segment.base_vpn, segment.end_vpn, rights
+        pd_id, lo, hi = domain.pd_id, segment.base_vpn, segment.end_vpn
+        self.kernel.bus.shootdown(
+            "set_segment_rights",
+            lambda system: system.plb.sweep_domain_range(pd_id, lo, hi, rights)[1],
         )
 
-    def invalidate_translation(self, vpn: int) -> None:
+    def invalidate_translation_on(self, system: PLBSystem, vpn: int) -> int:
         # Only the translation dies; the PLB needs no maintenance
         # (§4.1.3).
-        self.system.tlb.invalidate(vpn)
+        return int(system.tlb.invalidate(vpn))
 
     def rebuild_protection(self, pd_id: int | None = None) -> None:
         # Every PLB entry refaults from the attachment tables, so the
@@ -808,6 +930,7 @@ class PageGroupOps(ModelOps):
         # of groups accessible to the current domain, possibly adding an
         # entry for it in the page-group cache" (Table 1).  A read-only
         # attachment is expressed with the PID write-disable bit.
+        # Grants are lazy across CPUs: remote holders reload on miss.
         domain.attachments[segment.seg_id] = rights
         if rights == Rights.NONE:
             return
@@ -820,13 +943,18 @@ class PageGroupOps(ModelOps):
     def detach(self, domain: ProtectionDomain, segment: VirtualSegment) -> None:
         # "Remove the appropriate page-group identifier from the set of
         # page-groups accessible to the current domain, and purge it
-        # from the page-group cache" (Table 1).
+        # from the page-group cache" (Table 1) — on every CPU currently
+        # running the domain.
         del domain.attachments[segment.seg_id]
         self.kernel._verb_step("detached")
         domain.revoke_group(segment.aid)
         self.kernel._verb_step("revoked")
-        if self.kernel.system.current_domain == domain.pd_id:
-            self.system.groups.drop(segment.aid)
+        aid, pd_id = segment.aid, domain.pd_id
+        self.kernel.bus.shootdown(
+            "detach",
+            lambda system: int(system.groups.drop(aid)),
+            predicate=lambda ctx: ctx.system.current_domain == pd_id,
+        )
 
     def _private_group_for(self, domain: ProtectionDomain) -> int:
         aid = self._private_groups.get(domain.pd_id)
@@ -848,31 +976,42 @@ class PageGroupOps(ModelOps):
                 self.system.groups.install(entry)
         self.kernel.group_table.move(vpn, aid)
         self.kernel.group_table.set_rights(vpn, rights)
-        self.system.tlb.update(vpn, rights=rights, aid=aid)
+        self.kernel.bus.shootdown(
+            "set_page_rights",
+            lambda system: int(system.tlb.update(vpn, rights=rights, aid=aid)),
+        )
 
     def set_rights_all(self, vpn: int, rights: Rights) -> None:
-        # "The change is easily made in a single TLB entry" (§4.1.2).
+        # "The change is easily made in a single TLB entry" (§4.1.2) —
+        # one entry per CPU on a multiprocessor.
         self.kernel.group_table.set_rights(vpn, rights)
-        self.system.tlb.update(vpn, rights=rights)
+        self.kernel.bus.shootdown(
+            "set_rights_all",
+            lambda system: int(system.tlb.update(vpn, rights=rights)),
+        )
 
     def set_segment_rights(
         self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
     ) -> None:
         # Per-domain, whole-segment changes map onto the PID
-        # write-disable bit; revocation drops the group.
+        # write-disable bit; revocation drops the group on every CPU
+        # running the domain.
         domain.attachments[segment.seg_id] = rights
-        current = self.kernel.system.current_domain == domain.pd_id
         if rights == Rights.NONE:
             domain.revoke_group(segment.aid)
-            if current:
-                self.system.groups.drop(segment.aid)
+            aid, pd_id = segment.aid, domain.pd_id
+            self.kernel.bus.shootdown(
+                "set_segment_rights",
+                lambda system: int(system.groups.drop(aid)),
+                predicate=lambda ctx: ctx.system.current_domain == pd_id,
+            )
             return
         entry = domain.grant_group(segment.aid, write_disable=not rights & Rights.WRITE)
-        if current:
+        if self.kernel.system.current_domain == domain.pd_id:
             self.system.groups.install(entry)
 
-    def invalidate_translation(self, vpn: int) -> None:
-        self.system.tlb.invalidate(vpn)
+    def invalidate_translation_on(self, system: PageGroupSystem, vpn: int) -> int:
+        return int(system.tlb.invalidate(vpn))
 
     def rebuild_protection(self, pd_id: int | None = None) -> None:
         # The AID-tagged TLB refills from the group table via
@@ -917,25 +1056,39 @@ class ConventionalOps(ModelOps):
         for vpn in segment.vpns():
             mirror.unmap(vpn)
         self.kernel._verb_step("mirror_cleared")
-        self.system.tlb.invalidate_domain_range(
-            self._asid(domain), segment.base_vpn, segment.end_vpn
+        asid, lo, hi = self._asid(domain), segment.base_vpn, segment.end_vpn
+        self.kernel.bus.shootdown(
+            "detach",
+            lambda system: system.tlb.invalidate_domain_range(asid, lo, hi)[1],
         )
 
     def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
         domain.page_overrides[vpn] = rights
         self._mirror(domain).set_rights(vpn, rights)
-        self.system.tlb.update_rights(self._asid(domain), vpn, rights)
+        asid = self._asid(domain)
+        self.kernel.bus.shootdown(
+            "set_page_rights",
+            lambda system: int(system.tlb.update_rights(asid, vpn, rights)),
+        )
 
     def set_rights_all(self, vpn: int, rights: Rights) -> None:
         # One TLB/PTE update per attached domain: replication makes the
-        # all-domains change linear in the sharers.
+        # all-domains change linear in the sharers — and each domain's
+        # update is its own shootdown, so the remote cost is D messages
+        # per CPU where the SASOS models send one (§4.1.3).
         segment = self.kernel.segment_at(vpn)
         if segment is None:
             return
         for domain in self.kernel.attached_domains(segment):
             domain.page_overrides[vpn] = rights
             self._mirror(domain).set_rights(vpn, rights)
-            self.system.tlb.update_rights(self._asid(domain), vpn, rights)
+            asid = self._asid(domain)
+            self.kernel.bus.shootdown(
+                "set_rights_all",
+                lambda system, asid=asid: int(
+                    system.tlb.update_rights(asid, vpn, rights)
+                ),
+            )
 
     def set_segment_rights(
         self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
@@ -945,13 +1098,15 @@ class ConventionalOps(ModelOps):
         mirror = self._mirror(domain)
         for vpn in segment.vpns():
             mirror.set_rights(vpn, rights)
-        self.system.tlb.invalidate_domain_range(
-            self._asid(domain), segment.base_vpn, segment.end_vpn
+        asid, lo, hi = self._asid(domain), segment.base_vpn, segment.end_vpn
+        self.kernel.bus.shootdown(
+            "set_segment_rights",
+            lambda system: system.tlb.invalidate_domain_range(asid, lo, hi)[1],
         )
 
-    def invalidate_translation(self, vpn: int) -> None:
+    def invalidate_translation_on(self, system: ConventionalSystem, vpn: int) -> int:
         # Every domain's replica must go (§3.1's coherence burden).
-        self.system.tlb.invalidate_page(vpn)
+        return system.tlb.invalidate_page(vpn)[1]
 
     def rebuild_protection(self, pd_id: int | None = None) -> None:
         # The combined TLB refills from the linear-table mirrors, so the

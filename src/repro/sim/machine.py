@@ -70,6 +70,11 @@ class Machine:
             by recipe with byte-identical stats.  Exposed so the
             equivalence suite and the throughput benchmark can compare
             both modes.
+        cpu: The :class:`~repro.os.smp.CpuContext` this machine drives
+            (defaults to the kernel's current CPU — CPU 0 on a
+            single-CPU kernel).  A machine is pinned: every touch runs
+            on its CPU's hardware and charges its CPU's stats, and the
+            memo is guarded by that CPU's mutation epoch.
     """
 
     #: A reference that faults more than this many times is wedged: the
@@ -81,9 +86,12 @@ class Machine:
     #: the hit path free of bookkeeping.
     MEMO_CAPACITY = 65536
 
-    def __init__(self, kernel: Kernel, *, fast_path: bool = True) -> None:
+    def __init__(self, kernel: Kernel, *, fast_path: bool = True, cpu=None) -> None:
         self.kernel = kernel
         self.fast_path = fast_path
+        #: The CPU this machine is pinned to (see class docstring).
+        self.cpu = cpu if cpu is not None else kernel.cpus[kernel.current_cpu]
+        self._cpu_id = self.cpu.cpu_id
         #: When set (see :meth:`record_trace`), every touch (and every
         #: explicit :class:`Switch` replayed by :meth:`run`) is appended
         #: here so a workload's reference stream can be saved and
@@ -99,8 +107,9 @@ class Machine:
         self._memo_epoch = -1
         self._line_shift = kernel.params.line_offset_bits
         # Raw counter store: the memo hit path merges a recipe's counts
-        # with an inline loop, skipping even the inc_many call.
-        self._counts = kernel.stats._counts
+        # with an inline loop, skipping even the inc_many call.  Bound to
+        # the pinned CPU's stats (CPU 0 shares the kernel stats object).
+        self._counts = self.cpu.stats._counts
         #: Reused container for fast-path results: the hot path rebinds
         #: ``.result`` instead of allocating.  Borrowed until the next
         #: fast-path touch — callers that keep results across touches get
@@ -109,7 +118,8 @@ class Machine:
 
     @property
     def stats(self) -> Stats:
-        return self.kernel.stats
+        """The pinned CPU's stats (the kernel stats on a 1-CPU kernel)."""
+        return self.cpu.stats
 
     def record_trace(self, sink: list[TraceOp] | None = None) -> list[TraceOp]:
         """Start recording every reference; returns the sink list."""
@@ -138,6 +148,8 @@ class Machine:
         faults and :class:`FaultLoop` if handlers stop making progress.
         """
         kernel = self.kernel
+        if kernel.current_cpu != self._cpu_id:
+            kernel.set_current_cpu(self._cpu_id)
         pd_id = domain.pd_id
         if self._trace_log is not None:
             self._trace_log.append(Ref(pd_id, vaddr, access))
@@ -247,8 +259,24 @@ class Machine:
     # ------------------------------------------------------------------ #
     # Traces
 
+    def step(self, op: TraceOp) -> None:
+        """Replay one trace op on this machine's CPU (SMP interleaving)."""
+        kernel = self.kernel
+        if kernel.current_cpu != self._cpu_id:
+            kernel.set_current_cpu(self._cpu_id)
+        if isinstance(op, Ref):
+            self.touch(kernel.domains[op.pd_id], op.vaddr, op.access)
+        elif isinstance(op, Switch):
+            if self._trace_log is not None:
+                self._trace_log.append(op)
+            kernel.switch_to(kernel.domains[op.pd_id])
+        else:
+            raise TypeError(f"not a trace op: {op!r}")
+
     def run(self, trace: Iterable[TraceOp]) -> Stats:
         """Replay a trace; returns the stats accumulated by the run."""
+        if self.kernel.current_cpu != self._cpu_id:
+            self.kernel.set_current_cpu(self._cpu_id)
         before = self.stats.snapshot()
         domains = self.kernel.domains
         touch = self.touch
@@ -323,3 +351,79 @@ class Machine:
             for counts in pool.map(_replay_shard, [(factory, s) for s in shards]):
                 merged.inc_many(counts)
         return merged
+
+
+class SMPMachine:
+    """Interleaves per-CPU reference streams over one SMP kernel.
+
+    One :class:`Machine` per :class:`~repro.os.smp.CpuContext`, all
+    sharing the kernel (and its authority).  :meth:`run` round-robins
+    the CPUs in fixed quanta — CPU 0 runs ``quantum`` ops, then CPU 1,
+    ... — so a run is *deterministic*: the same shards and quantum
+    produce the same interleaving, the same shootdown traffic and the
+    same merged counters on every run.  Each CPU keeps its own replay
+    memo, guarded by its own mutation epoch: verbs and shootdowns
+    delivered to a CPU invalidate that CPU's memo only (the PR-4 fast
+    path stays valid per CPU).
+    """
+
+    def __init__(self, kernel: Kernel, *, fast_path: bool = True, quantum: int = 32) -> None:
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        self.kernel = kernel
+        self.quantum = quantum
+        #: One pinned machine per CPU, in CPU order.
+        self.machines = [
+            Machine(kernel, fast_path=fast_path, cpu=ctx) for ctx in kernel.cpus
+        ]
+
+    def machine_for(self, cpu_id: int) -> Machine:
+        return self.machines[cpu_id]
+
+    def touch_on(
+        self,
+        cpu_id: int,
+        domain: ProtectionDomain,
+        vaddr: int,
+        access: AccessType = AccessType.READ,
+    ) -> TouchResult:
+        """One reference by ``domain`` on ``cpu_id``'s hardware."""
+        return self.machines[cpu_id].touch(domain, vaddr, access)
+
+    def run(
+        self, shards: Sequence[Iterable[TraceOp]], *, quantum: int | None = None
+    ) -> Stats:
+        """Interleave one trace shard per CPU; returns the merged delta.
+
+        ``shards[k]`` replays on CPU ``k`` (at most one shard per CPU).
+        Round-robin with a fixed quantum: deterministic interleaving,
+        deterministic merged stats (kernel + remote CPUs, in CPU order).
+        """
+        kernel = self.kernel
+        if len(shards) > kernel.n_cpus:
+            raise ValueError(
+                f"{len(shards)} shards for {kernel.n_cpus} CPUs; "
+                "one shard per CPU at most"
+            )
+        quantum = self.quantum if quantum is None else quantum
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        before = kernel.merged_stats()
+        streams = [iter(shard) for shard in shards]
+        live = list(range(len(streams)))
+        while live:
+            still_live = []
+            for idx in live:
+                machine = self.machines[idx]
+                stream = streams[idx]
+                exhausted = False
+                for _ in range(quantum):
+                    op = next(stream, None)
+                    if op is None:
+                        exhausted = True
+                        break
+                    machine.step(op)
+                if not exhausted:
+                    still_live.append(idx)
+            live = still_live
+        return kernel.merged_stats().delta(before)

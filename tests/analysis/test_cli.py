@@ -69,6 +69,56 @@ class TestCommands:
             assert marker in out
 
 
+class TestParallelismValidation:
+    """One validation path for --jobs (worker processes) and --cpus
+    (simulated CPUs): consistent, explicit error messages."""
+
+    def test_workload_jobs_below_one(self, capsys):
+        assert main(["workload", "rpc", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_workload_jobs_with_single_model_is_explicit(self, capsys):
+        """--jobs fans out across models; with one model it used to run
+        silently sequentially — now it is a contradiction we reject."""
+        assert main(["workload", "rpc", "--models", "plb", "--jobs", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "parallelizes across models" in err
+        assert "--models plb,pagegroup" in err
+
+    def test_bench_jobs_below_one(self, capsys):
+        assert main(["bench", "--models", "plb", "--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_smp_cpus_below_one(self, capsys):
+        assert main(["smp", "--cpus", "0"]) == 2
+        assert "--cpus must be >= 1" in capsys.readouterr().err
+
+    def test_smp_domains_below_one(self, capsys):
+        assert main(["smp", "--cpus", "2", "--domains", "0"]) == 2
+        assert "--domains must be >= 1" in capsys.readouterr().err
+
+
+class TestSMPCommand:
+    def test_prints_the_consistency_table(self, capsys):
+        assert main(["smp", "--cpus", "2", "--domains", "2",
+                     "--models", "plb,conventional"]) == 0
+        out = capsys.readouterr().out
+        assert "§4.1.3 consistency" in out
+        assert "rights change (all domains, one page)" in out
+        assert "paper ordering: plb <= pagegroup <= conventional" in out
+
+    def test_chaos_smoke_exits_zero_on_recovery(self, capsys):
+        assert main(["smp", "--cpus", "2", "--models", "plb",
+                     "--plan", "shootdown", "--ops", "40", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "smp chaos fuzz model=plb seed=0: OK" in out
+        assert "cpus=2" in out
+
+    def test_too_few_pages_is_a_clean_error(self, capsys):
+        assert main(["smp", "--cpus", "2", "--pages", "2"]) == 2
+        assert "at least 4 pages" in capsys.readouterr().err
+
+
 class TestErrors:
     def test_unknown_workload_exits_cleanly(self, capsys):
         assert main(["workload", "bogus"]) == 2

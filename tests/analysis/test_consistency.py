@@ -1,0 +1,80 @@
+"""§4.1.3: remote consistency costs must rank PLB <= page-group <= conventional."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.consistency import (
+    VERB_ALL_DOMAINS,
+    VERB_UNMAP,
+    VERBS,
+    consistency_table,
+    measure_all,
+    measure_model,
+)
+from repro.os.kernel import MODELS
+
+
+class TestOrdering:
+    def test_rights_change_messages_follow_the_paper_ordering(self):
+        """The acceptance bar: invalidations per rights change on a shared
+        page are ordered PLB <= page-group <= conventional."""
+        results = measure_all(n_cpus=3, n_domains=3)
+        plb = results["plb"].rights_change_msgs
+        pagegroup = results["pagegroup"].rights_change_msgs
+        conventional = results["conventional"].rights_change_msgs
+        assert plb <= pagegroup <= conventional
+        assert conventional > plb  # strictly worse with >1 sharing domain
+
+    def test_message_counts_match_the_analytic_model(self):
+        """PLB/page-group send one IPI per remote CPU; conventional one
+        per sharing domain per remote CPU (§4.1.3)."""
+        n_cpus, n_domains = 3, 4
+        results = measure_all(n_cpus=n_cpus, n_domains=n_domains)
+        remotes = n_cpus - 1
+        assert results["plb"].rights_change_msgs == remotes
+        assert results["pagegroup"].rights_change_msgs == remotes
+        assert results["conventional"].rights_change_msgs == n_domains * remotes
+
+    def test_pagegroup_touches_one_entry_per_cpu_on_shared_pages(self):
+        """'The change is easily made in the single TLB entry' (§4.1.2):
+        the AID-tagged entry is shared by every domain, so remote entry
+        updates don't scale with the sharing set."""
+        n_cpus, n_domains = 3, 4
+        results = measure_all(n_cpus=n_cpus, n_domains=n_domains)
+        remotes = n_cpus - 1
+        assert results["pagegroup"].costs[VERB_ALL_DOMAINS].entries == remotes
+        # PLB and conventional both hold one entry per sharing domain.
+        assert results["plb"].costs[VERB_ALL_DOMAINS].entries == n_domains * remotes
+        assert (
+            results["conventional"].costs[VERB_ALL_DOMAINS].entries
+            == n_domains * remotes
+        )
+
+    def test_unmap_is_a_translation_shootdown_on_every_model(self):
+        for model, result in measure_all(n_cpus=3, n_domains=2).items():
+            assert result.costs[VERB_UNMAP].msgs == 2, model
+            assert result.costs[VERB_UNMAP].entries >= 2, model
+
+
+class TestScenario:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_single_cpu_generates_no_remote_traffic(self, model):
+        result = measure_model(model, n_cpus=1, n_domains=3)
+        for verb in VERBS:
+            assert result.costs[verb].msgs == 0
+            assert result.costs[verb].entries == 0
+
+    def test_too_few_pages_is_an_error(self):
+        with pytest.raises(ValueError):
+            measure_model("plb", pages=3)
+
+
+class TestRendering:
+    def test_table_names_every_verb_and_model(self):
+        text = consistency_table(n_cpus=3, n_domains=3)
+        for verb in VERBS:
+            assert verb in text
+        for model in MODELS:
+            assert model in text
+        assert "paper ordering" in text

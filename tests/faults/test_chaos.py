@@ -80,3 +80,30 @@ class TestDeterminism:
         assert a.counters == b.counters
         assert a.ops_total == b.ops_total
         assert a.refs_checked == b.refs_checked
+
+
+class TestSMPChaos:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_shootdown_plan_converges_on_four_cpus(self, model):
+        """Dropped/delayed shootdowns on a real multiprocessor: the
+        scrubber must repair every CPU's stale state before the per-CPU
+        end-state sweep audits it against gold."""
+        result = run_chaos(
+            "fuzz", model, 0, plan="shootdown", n_ops=80, n_cpus=4
+        )
+        assert result.ok, result.divergence and result.divergence.describe()
+        assert result.n_cpus == 4
+
+    def test_smp_run_is_deterministic(self):
+        a = run_chaos("fuzz", "plb", 5, plan="mixed", n_ops=80, n_cpus=3)
+        b = run_chaos("fuzz", "plb", 5, plan="mixed", n_ops=80, n_cpus=3)
+        assert a.ok == b.ok
+        assert a.counters == b.counters
+        assert a.refs_checked == b.refs_checked
+
+    def test_dump_records_the_cpu_count(self):
+        result = run_chaos(
+            "fuzz", "plb", 1, plan="unrecoverable", n_cpus=2
+        )
+        assert not result.ok
+        assert json.loads(json.dumps(result.dump()))["n_cpus"] == 2

@@ -52,22 +52,25 @@ class TestZeroOverheadWhenOff:
         assert list(observed.items()) == list(baseline.items())
 
     @pytest.mark.parametrize("model", MODELS)
-    def test_disarm_restores_the_wrapped_methods(self, model):
+    def test_disarm_unhooks_the_shootdown_bus(self, model):
+        """Arming hooks the bus (no method wrapping); disarm restores it."""
         kernel = Kernel(model, n_frames=32)
-        system = kernel.system
-        if model == "plb":
-            wrapped_names = [(system.plb, "invalidate")]
-        elif model == "pagegroup":
-            wrapped_names = [(system.tlb, "update")]
-        else:
-            wrapped_names = [(system.tlb, "update_rights")]
-        originals = [getattr(obj, name) for obj, name in wrapped_names]
         injector = FaultInjector(FaultPlan(events=()))
+        assert kernel.bus.hook is None
         injector.arm(kernel)
-        assert [getattr(obj, name) for obj, name in wrapped_names] != originals
+        assert kernel.bus.hook is not None
         injector.disarm()
-        assert [getattr(obj, name) for obj, name in wrapped_names] == originals
+        assert kernel.bus.hook is None
         assert kernel.backing.injector is None
+
+    def test_second_injector_cannot_steal_the_bus(self):
+        kernel = Kernel("plb", n_frames=32)
+        first = FaultInjector(FaultPlan(events=()))
+        first.arm(kernel)
+        second = FaultInjector(FaultPlan(events=()))
+        with pytest.raises(RuntimeError):
+            second.arm(kernel)
+        first.disarm()
 
 
 class TestDiskSite:

@@ -1,0 +1,187 @@
+"""ABL-PGCACHE: the real PA-RISC PID register file vs the paper's cache.
+
+The paper's evaluation replaces the PA-RISC's four page-group (PID)
+registers with a Wilkes & Sears LRU cache; the register file is kept for
+the ablation comparing the two.  These tests drive the *register*
+configuration end to end through the kernel: trap-and-reload when the
+group working set exceeds the file, the full purge on every domain
+switch, and the Figure 2 D (write-disable) bit masking writes through a
+read-only attachment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pagegroup import PageGroupCache
+from repro.core.rights import Rights
+from repro.hardware.registers import PIDRegisterFile
+from repro.os.kernel import Kernel, SegmentationViolation
+from repro.sim.machine import Machine
+
+
+def make_kernel(**options) -> Kernel:
+    merged = {"group_holder": "registers", "group_capacity": 2, **options}
+    return Kernel("pagegroup", n_frames=64, system_options=merged)
+
+
+class TestTrapAndReload:
+    def test_registers_holder_is_the_pid_file(self):
+        kernel = make_kernel()
+        assert isinstance(kernel.system.groups, PIDRegisterFile)
+        assert kernel.system.groups.size == 2
+
+    def test_working_set_larger_than_file_round_robins(self):
+        """Three live groups over two registers: every rotation through
+        the working set evicts a resident group and reloads it on the
+        next touch (the PA-RISC multiplexing cost the cache removes)."""
+        kernel = make_kernel()
+        machine = Machine(kernel)
+        domain = kernel.create_domain("app")
+        segments = [kernel.create_segment(f"s{i}", 2) for i in range(3)]
+        for segment in segments:
+            kernel.attach(domain, segment, Rights.RW)
+        for segment in segments:  # first touches trap-and-reload the file
+            machine.read(domain, kernel.params.vaddr(segment.base_vpn))
+        # Three groups were loaded; only two registers survive.
+        assert len(kernel.system.groups.resident_groups()) == 2
+
+        before = kernel.stats.snapshot()
+        for _ in range(3):
+            for segment in segments:
+                machine.read(domain, kernel.params.vaddr(segment.base_vpn))
+        delta = kernel.stats.delta(before)
+        # Each rotation misses the group that was just displaced.
+        assert delta["group_reload"] >= 3
+        assert delta["pid.replace"] >= 3
+
+    def test_file_large_enough_stops_reloading(self):
+        kernel = make_kernel(group_capacity=4)
+        machine = Machine(kernel)
+        domain = kernel.create_domain("app")
+        segments = [kernel.create_segment(f"s{i}", 2) for i in range(3)]
+        for segment in segments:
+            kernel.attach(domain, segment, Rights.RW)
+        for segment in segments:  # one warm pass
+            machine.read(domain, kernel.params.vaddr(segment.base_vpn))
+        before = kernel.stats.snapshot()
+        for _ in range(3):
+            for segment in segments:
+                machine.read(domain, kernel.params.vaddr(segment.base_vpn))
+        delta = kernel.stats.delta(before)
+        assert delta["group_reload"] == 0
+        assert delta["pid.replace"] == 0
+
+    def test_domain_switch_purges_the_file_and_reloads_on_return(self):
+        """§4.1.4: a switch clears every PID register, so returning to a
+        domain traps to reload even a previously resident group."""
+        kernel = make_kernel()
+        machine = Machine(kernel)
+        app = kernel.create_domain("app")
+        other = kernel.create_domain("other")
+        shared = kernel.create_segment("shared", 2)
+        kernel.attach(app, shared, Rights.RW)
+        kernel.attach(other, shared, Rights.READ)
+        vaddr = kernel.params.vaddr(shared.base_vpn)
+
+        machine.read(app, vaddr)  # group resident for app
+        before = kernel.stats.snapshot()
+        machine.read(app, vaddr)  # still resident: no reload
+        assert kernel.stats.delta(before)["group_reload"] == 0
+
+        machine.read(other, vaddr)  # switch purged, other reloads
+        before = kernel.stats.snapshot()
+        machine.read(app, vaddr)  # switch back: trap-and-reload again
+        delta = kernel.stats.delta(before)
+        assert delta["group_reload"] == 1
+        assert delta["domain_switch"] == 1
+
+
+class TestWriteDisableBit:
+    def test_read_only_attachment_sets_the_d_bit(self):
+        kernel = make_kernel()
+        machine = Machine(kernel)
+        reader = kernel.create_domain("reader")
+        data = kernel.create_segment("data", 2)
+        kernel.attach(reader, data, Rights.READ)
+        vaddr = kernel.params.vaddr(data.base_vpn)
+
+        assert not machine.read(reader, vaddr).faulted
+        entry = kernel.system.groups.find(data.aid)
+        assert entry is not None and entry.write_disable
+        with pytest.raises(SegmentationViolation):
+            machine.write(reader, vaddr)
+
+    def test_d_bit_masks_writes_even_when_page_rights_allow_them(self):
+        """The mask is per-domain: the page's group rights stay RW for a
+        writer domain while the D bit blocks the read-only domain."""
+        kernel = make_kernel()
+        machine = Machine(kernel)
+        writer = kernel.create_domain("writer")
+        reader = kernel.create_domain("reader")
+        data = kernel.create_segment("data", 2, group_rights=Rights.RW)
+        kernel.attach(writer, data, Rights.RW)
+        kernel.attach(reader, data, Rights.READ)
+        vaddr = kernel.params.vaddr(data.base_vpn)
+
+        assert not machine.write(writer, vaddr).faulted
+        with pytest.raises(SegmentationViolation):
+            machine.write(reader, vaddr)
+        # The group rights themselves were never narrowed.
+        assert kernel.group_table.rights_of(data.base_vpn) == Rights.RW
+
+    def test_set_segment_rights_regrant_flips_the_d_bit_in_place(self):
+        kernel = make_kernel()
+        machine = Machine(kernel)
+        app = kernel.create_domain("app")
+        data = kernel.create_segment("data", 2)
+        kernel.attach(app, data, Rights.READ)
+        vaddr = kernel.params.vaddr(data.base_vpn)
+        machine.read(app, vaddr)
+        with pytest.raises(SegmentationViolation):
+            machine.write(app, vaddr)
+
+        kernel.set_segment_rights(app, data, Rights.RW)
+        entry = kernel.system.groups.find(data.aid)
+        assert entry is not None and not entry.write_disable
+        assert not machine.write(app, vaddr).faulted
+
+        kernel.set_segment_rights(app, data, Rights.READ)
+        with pytest.raises(SegmentationViolation):
+            machine.write(app, vaddr)
+
+
+class TestAblationEquivalence:
+    def test_outcomes_match_the_cache_holder(self):
+        """Swapping the holder changes the *cost*, never the *verdict*:
+        both configurations allow and deny exactly the same references."""
+
+        def outcomes(kernel: Kernel) -> list[str]:
+            machine = Machine(kernel)
+            app = kernel.create_domain("app")
+            other = kernel.create_domain("other")
+            segments = [kernel.create_segment(f"s{i}", 2) for i in range(3)]
+            for segment in segments:
+                kernel.attach(app, segment, Rights.RW)
+            kernel.attach(other, segments[0], Rights.READ)
+            log = []
+            for domain in (app, other, app):
+                for segment in segments:
+                    for vpn in segment.vpns():
+                        for method in (machine.read, machine.write):
+                            try:
+                                method(domain, kernel.params.vaddr(vpn))
+                                log.append("ok")
+                            except SegmentationViolation:
+                                log.append("denied")
+            return log
+
+        registers = make_kernel()
+        cache = Kernel(
+            "pagegroup", n_frames=64,
+            system_options={"group_holder": "cache", "group_capacity": 2},
+        )
+        assert isinstance(cache.system.groups, PageGroupCache)
+        assert outcomes(registers) == outcomes(cache)
+        assert registers.stats["pid.write"] > 0
+        assert cache.stats["pid.write"] == 0

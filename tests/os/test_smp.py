@@ -1,0 +1,205 @@
+"""SMP kernel: per-CPU contexts, the shootdown bus, and its fault contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mmu import PageFault
+from repro.core.rights import AccessType, Rights
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.os.kernel import MODELS, Kernel, KernelError, SegmentationViolation
+from repro.sim.machine import Machine, SMPMachine
+from repro.sim.trace import Ref
+
+
+def smp_kernel(model: str = "plb", n_cpus: int = 2) -> Kernel:
+    return Kernel(model, n_frames=64, n_cpus=n_cpus)
+
+
+def shared_setup(kernel: Kernel, *, rights: Rights = Rights.RW):
+    domain = kernel.create_domain("app")
+    segment = kernel.create_segment("data", 4)
+    kernel.attach(domain, segment, rights)
+    return domain, segment
+
+
+class TestTopology:
+    def test_n_cpus_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Kernel("plb", n_cpus=0)
+
+    def test_cpu0_shares_the_kernel_stats(self):
+        kernel = smp_kernel()
+        assert kernel.cpus[0].stats is kernel.stats
+        assert kernel.cpus[1].stats is not kernel.stats
+
+    def test_set_current_cpu_rebinds_the_system(self):
+        kernel = smp_kernel()
+        assert kernel.system is kernel.cpus[0].system
+        kernel.set_current_cpu(1)
+        assert kernel.system is kernel.cpus[1].system
+        with pytest.raises(KernelError):
+            kernel.set_current_cpu(5)
+
+    def test_merged_stats_equals_kernel_stats_on_one_cpu(self):
+        kernel = Kernel("plb", n_frames=64)
+        domain, segment = shared_setup(kernel)
+        Machine(kernel).write(domain, kernel.params.vaddr(segment.base_vpn))
+        assert kernel.merged_stats().as_dict() == kernel.stats.as_dict()
+
+
+class TestEpochs:
+    def test_verbs_bump_only_the_issuing_cpus_epoch(self):
+        kernel = smp_kernel()
+        kernel.set_current_cpu(1)
+        parked1 = kernel.mutation_epoch
+        kernel.set_current_cpu(0)
+        kernel.create_domain("app")  # traps on CPU 0, no shootdown
+        kernel.set_current_cpu(1)
+        assert kernel.mutation_epoch == parked1
+
+    def test_shootdown_bumps_the_remote_cpus_epoch(self):
+        kernel = smp_kernel()
+        domain, segment = shared_setup(kernel)
+        kernel.set_current_cpu(1)
+        parked1 = kernel.mutation_epoch
+        kernel.set_current_cpu(0)
+        kernel.set_page_rights(domain, segment.base_vpn, Rights.READ)
+        kernel.set_current_cpu(1)
+        assert kernel.mutation_epoch > parked1
+
+    def test_epoch_survives_a_round_trip(self):
+        kernel = smp_kernel()
+        kernel.set_current_cpu(1)
+        kernel.create_domain("bump-cpu1")
+        epoch1 = kernel.mutation_epoch
+        kernel.set_current_cpu(0)
+        kernel.set_current_cpu(1)
+        assert kernel.mutation_epoch == epoch1
+
+
+class TestShootdownSemantics:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_rights_revocation_reaches_remote_cpus(self, model):
+        kernel = smp_kernel(model)
+        domain, segment = shared_setup(kernel)
+        smp = SMPMachine(kernel)
+        vaddr = kernel.params.vaddr(segment.base_vpn)
+        for cpu in (0, 1):
+            assert not smp.touch_on(cpu, domain, vaddr, AccessType.WRITE).faulted
+
+        kernel.set_current_cpu(0)
+        kernel.set_page_rights(domain, segment.base_vpn, Rights.READ)
+        assert not smp.touch_on(1, domain, vaddr).faulted
+        with pytest.raises(SegmentationViolation):
+            smp.touch_on(1, domain, vaddr, AccessType.WRITE)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_attach_is_lazy_across_cpus(self, model):
+        """Grants broadcast nothing — remote CPUs fault entries in on
+        their next miss (Table 1's attach row, per CPU)."""
+        kernel = smp_kernel(model)
+        before = kernel.stats.snapshot()
+        shared_setup(kernel)
+        delta = kernel.stats.delta(before)
+        assert delta["smp.shootdown.msgs"] == 0
+        assert delta["smp.tlb_shootdown.msgs"] == 0
+
+    def test_remote_costs_are_counted_per_verb(self):
+        kernel = smp_kernel("plb", n_cpus=3)
+        domain, segment = shared_setup(kernel)
+        smp = SMPMachine(kernel)
+        vaddr = kernel.params.vaddr(segment.base_vpn)
+        for cpu in range(3):
+            smp.touch_on(cpu, domain, vaddr)
+        kernel.set_current_cpu(0)
+        before = kernel.stats.snapshot()
+        kernel.set_page_rights(domain, segment.base_vpn, Rights.NONE)
+        delta = kernel.stats.delta(before)
+        assert delta["smp.shootdown.msgs"] == 2
+        assert delta["smp.shootdown.verb.set_page_rights"] == 2
+
+
+class TestSMPMachineDeterminism:
+    def _shards(self, kernel, domain, segment, n: int):
+        params = kernel.params
+        vpns = list(segment.vpns())
+        return [
+            [
+                Ref(domain.pd_id, params.vaddr(vpns[(i + k) % len(vpns)]),
+                    AccessType.WRITE if (i + k) % 3 == 0 else AccessType.READ)
+                for i in range(n)
+            ]
+            for k in range(2)
+        ]
+
+    def test_same_shards_same_quantum_same_stats(self):
+        runs = []
+        for _ in range(2):
+            kernel = smp_kernel()
+            domain, segment = shared_setup(kernel)
+            smp = SMPMachine(kernel, quantum=8)
+            delta = smp.run(self._shards(kernel, domain, segment, 64))
+            runs.append(delta.as_dict())
+        assert runs[0] == runs[1]
+
+    def test_more_shards_than_cpus_rejected(self):
+        kernel = smp_kernel()
+        domain, segment = shared_setup(kernel)
+        smp = SMPMachine(kernel)
+        with pytest.raises(ValueError):
+            smp.run(self._shards(kernel, domain, segment, 8) + [[]])
+
+
+class TestTranslationNeverIntercepted:
+    """The structural contract pinned by the bus: an armed injector may
+    drop *protection* shootdowns, never *translation* shootdowns."""
+
+    def drop_everything(self) -> FaultInjector:
+        return FaultInjector(
+            FaultPlan(events=(FaultEvent("shootdown", "drop", at=0, arg=9999),))
+        )
+
+    def test_unmap_invalidates_remote_translations_despite_the_injector(self):
+        kernel = smp_kernel("plb")
+        domain, segment = shared_setup(kernel)
+        smp = SMPMachine(kernel)
+        vaddr = kernel.params.vaddr(segment.base_vpn)
+        for cpu in (0, 1):
+            smp.touch_on(cpu, domain, vaddr)
+
+        injector = self.drop_everything()
+        injector.arm(kernel)
+        kernel.set_current_cpu(0)
+        kernel.unmap_page(segment.base_vpn)
+        injector.disarm()
+
+        # Both CPUs must refuse to translate the dead page; a stale hit
+        # here would hand out a released frame.
+        for cpu in (0, 1):
+            kernel.set_current_cpu(cpu)
+            with pytest.raises(PageFault):
+                kernel.system.access(vaddr, AccessType.READ)
+
+    def test_protection_drops_do_leave_remote_cpus_stale(self):
+        """The contrast case: the same plan swallows a protection
+        shootdown, so the remote CPU keeps granting until scrubbed."""
+        from repro.faults.scrub import Scrubber
+
+        kernel = smp_kernel("plb")
+        domain, segment = shared_setup(kernel)
+        smp = SMPMachine(kernel)
+        vaddr = kernel.params.vaddr(segment.base_vpn)
+        for cpu in (0, 1):
+            smp.touch_on(cpu, domain, vaddr, AccessType.WRITE)
+
+        injector = self.drop_everything()
+        injector.arm(kernel)
+        kernel.set_current_cpu(0)
+        kernel.set_page_rights(domain, segment.base_vpn, Rights.NONE)
+        # CPU 1 never saw the revocation: its PLB still grants write.
+        assert not smp.touch_on(1, domain, vaddr, AccessType.WRITE).faulted
+        injector.disarm()
+        assert Scrubber(kernel).scrub() >= 1
+        with pytest.raises(SegmentationViolation):
+            smp.touch_on(1, domain, vaddr, AccessType.WRITE)
