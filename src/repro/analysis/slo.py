@@ -1,0 +1,127 @@
+"""SLO summary formatting for serve mode.
+
+The serve driver ends each run with one
+:meth:`~repro.obs.live.LiveCollector.slo_summary` per model; this module
+renders those as the human-readable end-of-run tables and wraps them in
+the same structured :class:`~repro.obs.export.RunReport` shape batch
+benches emit, so serve runs leave a machine-readable SLO record next to
+the bench trajectory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.analysis.report import format_table
+from repro.obs.export import RunReport, build_run_report
+from repro.sim.stats import Stats
+
+#: Table 1 verb spans reported in the per-verb SLO table, in paper order.
+#: Other spans (workload-internal, serve.* roots) stay in the JSON.
+TABLE1_VERBS = (
+    "kernel.attach",
+    "kernel.detach",
+    "kernel.set_page_rights",
+    "kernel.set_rights_all",
+    "kernel.switch",
+    "kernel.unmap_page",
+    "kernel.fault.protection",
+    "kernel.fault.page",
+)
+
+
+def format_slo_summary(summaries: Mapping[str, Mapping[str, Any]]) -> str:
+    """Render the final per-model SLO tables as aligned text."""
+    blocks: list[str] = []
+
+    rows = []
+    for model, summary in sorted(summaries.items()):
+        faults = summary["faults"]
+        rows.append(
+            [
+                model,
+                summary["requests"],
+                summary["refs"],
+                summary["sustained_requests_per_sec"],
+                summary["sustained_refs_per_sec"],
+                faults["injected"],
+                faults["recovered"],
+                faults["scrub_repairs"],
+                faults["request_failures"],
+            ]
+        )
+    blocks.append(
+        format_table(
+            [
+                "model",
+                "requests",
+                "refs",
+                "req/s",
+                "refs/s",
+                "injected",
+                "recovered",
+                "repairs",
+                "failures",
+            ],
+            rows,
+            title="Serve SLO summary (virtual time)",
+        )
+    )
+
+    for model, summary in sorted(summaries.items()):
+        rows = []
+        for klass, sketch in summary["latency_cycles_per_class"].items():
+            rows.append(
+                [klass, sketch["count"], sketch["p50"], sketch["p99"], sketch["p999"]]
+            )
+        for verb in TABLE1_VERBS:
+            sketch = summary["latency_cycles_per_verb"].get(verb)
+            if sketch is None:
+                continue
+            rows.append(
+                [verb, sketch["count"], sketch["p50"], sketch["p99"], sketch["p999"]]
+            )
+        blocks.append(
+            format_table(
+                ["request / verb", "count", "p50", "p99", "p999"],
+                rows,
+                title=f"[{model}] latency (simulated cycles)",
+            )
+        )
+        recovery = summary["recovery_time_us"]
+        if recovery["count"]:
+            blocks.append(
+                format_table(
+                    ["count", "p50", "p99", "p999", "max"],
+                    [
+                        [
+                            recovery["count"],
+                            recovery["p50"],
+                            recovery["p99"],
+                            recovery["p999"],
+                            recovery["max"],
+                        ]
+                    ],
+                    title=f"[{model}] recovery time under fault (virtual us)",
+                )
+            )
+
+    return "\n\n".join(blocks)
+
+
+def build_slo_reports(
+    summaries: Mapping[str, Mapping[str, Any]],
+    stats_by_model: Mapping[str, Stats],
+) -> list[RunReport]:
+    """One RunReport per served model, summary = the SLO summary dict."""
+    reports = []
+    for model in sorted(summaries):
+        reports.append(
+            build_run_report(
+                f"serve-{model}",
+                model,
+                stats_by_model[model],
+                summary=dict(summaries[model]),
+            )
+        )
+    return reports

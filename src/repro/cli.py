@@ -34,6 +34,11 @@
   shootdown-consistency table for ``--cpus N``, and with ``--plan`` also
   run a multi-CPU chaos smoke on every model (exit 1 if any seed fails
   to recover).
+* ``serve`` — open-loop virtual-time server: seeded Poisson arrivals mix
+  txn/gc/rpc/checkpoint requests against long-lived kernels, continuous
+  chaos (``--plan``) and a background scrubber run alongside, and live
+  SLO telemetry streams out as JSONL snapshots, Prometheus text, and a
+  final per-model SLO summary; exit 1 on unrecovered divergence.
 """
 
 from __future__ import annotations
@@ -234,6 +239,11 @@ def build_parser() -> argparse.ArgumentParser:
         "across N processes (Machine.run_sharded); stats are merged "
         "deterministically",
     )
+    bench.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write per-model throughput RunReports (refs/sec full and "
+        "fast path) as JSON",
+    )
 
     trace = sub.add_parser(
         "trace", help="run one application class traced and export spans"
@@ -371,6 +381,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--scrub-every", type=int, default=16, metavar="N",
         help="run the protection scrubber every N ops (0 disables)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="open-loop virtual-time server with live SLO telemetry",
+    )
+    serve.add_argument(
+        "--duration", type=int, default=1000, metavar="MS",
+        help="virtual duration in milliseconds (default 1000)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the arrival schedule and chaos plan (default 0)",
+    )
+    serve.add_argument(
+        "--models", type=_parse_models, default=("plb",),
+        help="comma-separated subset of: " + ",".join(MODELS),
+    )
+    serve.add_argument(
+        "--cpus", type=int, default=1, metavar="K",
+        help="simulated CPUs per served kernel; workload classes are "
+        "assigned round-robin (default 1)",
+    )
+    serve.add_argument(
+        "--plan", default=None,
+        help="chaos preset armed continuously for the whole run "
+        "('none' or omitted disables)",
+    )
+    serve.add_argument(
+        "--rates", default=None, metavar="CLASS=R,...",
+        help="per-class arrival rates in requests per virtual second, "
+        "e.g. txn=60,gc=20,rpc=150,checkpoint=12 (the default mix); "
+        "listing a subset serves only those classes",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=100, metavar="MS",
+        help="SLO snapshot period in virtual milliseconds (default 100)",
+    )
+    serve.add_argument(
+        "--scrub-every-ms", type=int, default=50, metavar="MS",
+        help="background scrubber period in virtual ms (default 50)",
+    )
+    serve.add_argument(
+        "--cycles-per-us", type=int, default=200,
+        help="virtual CPU speed: simulated cycles per virtual µs; sets "
+        "service time and therefore queueing under load (default 200)",
+    )
+    serve.add_argument(
+        "--jsonl-out", default=None, metavar="PATH",
+        help="stream one JSON object per SLO snapshot to this file",
+    )
+    serve.add_argument(
+        "--prom-out", default=None, metavar="PATH",
+        help="rewrite this file with Prometheus text format per snapshot",
+    )
+    serve.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write the final per-model SLO RunReports as JSON",
+    )
     return parser
 
 
@@ -481,23 +549,35 @@ def _bench_machine(model: str, pages: int, fast: bool) -> Machine:
 
 
 def cmd_bench(
-    models: Sequence[str], refs: int, pages: int, seed: int, jobs: int
+    models: Sequence[str],
+    refs: int,
+    pages: int,
+    seed: int,
+    jobs: int,
+    report_out: str | None = None,
 ) -> str:
     """Replay throughput, full path vs fast path, optionally sharded.
 
     Both modes replay the *same* shards through identically built
     kernels, so their merged counters must be byte-identical — the bench
-    doubles as a live equivalence check.
+    doubles as a live equivalence check.  Each model's wall-clock
+    throughput also lands in a structured RunReport (registered with
+    :mod:`repro.analysis.benchout`, and written to ``--report-out`` when
+    given), so bench runs leave a machine-readable trajectory.
     """
     import functools
     import time
 
+    from repro.analysis import benchout
+    from repro.obs.export import build_run_report
+    from repro.sim.stats import Stats
     from repro.workloads.tracegen import TraceGenerator
 
     _validate_parallelism(jobs=jobs)
     if refs < 1 or pages < 1:
         raise CLIError("--refs and --pages must be >= 1")
     rows = []
+    reports = []
     for model in models:
         probe, domain, segment = _bench_setup(model, pages, True)
         kernel = probe.kernel
@@ -521,6 +601,25 @@ def cmd_bench(
             f"{timing['full'] / timing['fast']:.2f}x",
             "yes" if stats["full"] == stats["fast"] else "NO",
         ])
+        reports.append(
+            build_run_report(
+                f"bench-replay-{model}",
+                model,
+                Stats(stats["full"]),
+                summary={
+                    "refs": refs,
+                    "pages": pages,
+                    "seed": seed,
+                    "jobs": jobs,
+                    "refs_per_sec_full": round(refs / timing["full"], 1),
+                    "refs_per_sec_fast": round(refs / timing["fast"], 1),
+                    "wall_seconds_full": round(timing["full"], 4),
+                    "wall_seconds_fast": round(timing["fast"], 4),
+                    "speedup": round(timing["full"] / timing["fast"], 3),
+                    "stats_identical": stats["full"] == stats["fast"],
+                },
+            )
+        )
     from repro.analysis.report import format_table
 
     table = format_table(
@@ -529,9 +628,111 @@ def cmd_bench(
         title=f"Replay throughput: {refs} refs, {pages} pages, "
         f"seed {seed}, jobs {jobs}",
     )
+    benchout.record(f"bench-replay ({len(models)} models)", table, reports=reports)
+    if report_out:
+        import json
+
+        with open(report_out, "w") as fp:
+            json.dump(
+                {"reports": [report.to_dict() for report in reports]},
+                fp, indent=1, sort_keys=True,
+            )
+            fp.write("\n")
     if any(row[-1] == "NO" for row in rows):
         raise CLIError("fast path diverged from full path\n" + table)
     return table
+
+
+def _parse_rates(text: str | None) -> dict[str, float]:
+    """Parse ``--rates txn=60,gc=20`` into per-class arrivals/sec."""
+    from repro.serve.driver import DEFAULT_RATES
+    from repro.workloads.openloop import SOURCE_CLASSES
+
+    if text is None:
+        return dict(DEFAULT_RATES)
+    rates: dict[str, float] = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, _, value = item.partition("=")
+        name = name.strip()
+        if name not in SOURCE_CLASSES:
+            raise CLIError(
+                f"unknown workload class {name!r}; choose from: "
+                + ", ".join(sorted(SOURCE_CLASSES))
+            )
+        try:
+            rate = float(value)
+        except ValueError:
+            raise CLIError(f"bad rate for {name!r}: {value!r}")
+        if rate <= 0:
+            raise CLIError(f"rate for {name!r} must be positive")
+        rates[name] = rate
+    if not rates:
+        raise CLIError("--rates named no workload classes")
+    return rates
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run serve mode; exit 1 on unrecovered divergence under chaos."""
+    import json
+
+    from repro.analysis.slo import build_slo_reports, format_slo_summary
+    from repro.faults.plan import PRESETS
+    from repro.serve.driver import ServeConfig, run_serve
+
+    _validate_parallelism(cpus=args.cpus)
+    if args.duration < 1:
+        raise CLIError("--duration must be >= 1 (virtual milliseconds)")
+    if args.snapshot_every < 1 or args.scrub_every_ms < 1:
+        raise CLIError("--snapshot-every and --scrub-every-ms must be >= 1")
+    if args.cycles_per_us < 1:
+        raise CLIError("--cycles-per-us must be >= 1")
+    plan = args.plan if args.plan not in (None, "none") else None
+    if plan is not None and plan not in PRESETS:
+        raise CLIError(
+            f"unknown fault preset {plan!r}; choose from: "
+            + ", ".join(sorted(PRESETS))
+        )
+    config = ServeConfig(
+        duration_ms=args.duration,
+        seed=args.seed,
+        models=tuple(args.models),
+        cpus=args.cpus,
+        plan=plan,
+        rates=_parse_rates(args.rates),
+        snapshot_every_ms=args.snapshot_every,
+        scrub_every_ms=args.scrub_every_ms,
+        cycles_per_us=args.cycles_per_us,
+    )
+    jsonl_fp = open(args.jsonl_out, "w") if args.jsonl_out else None
+    try:
+        result = run_serve(config, jsonl_fp=jsonl_fp, prom_path=args.prom_out)
+    finally:
+        if jsonl_fp is not None:
+            jsonl_fp.close()
+    print(format_slo_summary(result.summaries))
+    if args.report_out:
+        reports = build_slo_reports(result.summaries, result.stats)
+        with open(args.report_out, "w") as fp:
+            json.dump(
+                {"reports": [report.to_dict() for report in reports]},
+                fp, indent=1, sort_keys=True,
+            )
+            fp.write("\n")
+    if result.diverged:
+        detail = ", ".join(
+            f"{model}: {count}"
+            for model, count in sorted(result.unrecovered.items())
+            if count
+        )
+        print(
+            f"serve: unrecovered divergence ({detail} failed requests)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _run_traced(name: str, model: str, *, sample_every: int = 1):
@@ -952,7 +1153,12 @@ def _dispatch(args: argparse.Namespace) -> int:
     elif args.command == "workload":
         print(cmd_workload(args.name, args.models, args.jobs))
     elif args.command == "bench":
-        print(cmd_bench(args.models, args.refs, args.pages, args.seed, args.jobs))
+        print(
+            cmd_bench(
+                args.models, args.refs, args.pages, args.seed, args.jobs,
+                args.report_out,
+            )
+        )
     elif args.command == "trace":
         print(cmd_trace(args.name, args.model, args.out, args.format, args.sample))
     elif args.command == "profile":
@@ -976,6 +1182,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.cpus, args.models, args.domains, args.pages, args.plan,
             args.scenario, args.seed, args.ops, args.scrub_every,
         )
+    elif args.command == "serve":
+        return cmd_serve(args)
     return 0
 
 

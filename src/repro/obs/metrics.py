@@ -73,7 +73,14 @@ class Histogram:
         return rows
 
     def percentile(self, fraction: float) -> int:
-        """Upper bound of the bucket holding the given quantile."""
+        """Quantile estimate, linearly interpolated inside the winning bucket.
+
+        Coarse power-of-two buckets would overstate tail quantiles if the
+        bucket's upper bound were returned outright; instead the estimate
+        walks ``fraction`` of the way through the bucket's width by rank,
+        clamped to the observed ``min``/``max`` so no reported percentile
+        lies outside the data.
+        """
         if not 0 < fraction <= 1:
             raise ValueError("fraction must be in (0, 1]")
         if not self.count:
@@ -81,9 +88,15 @@ class Histogram:
         needed = fraction * self.count
         seen = 0
         for low, high, count in self.buckets():
+            if seen + count >= needed:
+                within = (needed - seen) / count
+                estimate = low + int(within * (high - low))
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                return estimate
             seen += count
-            if seen >= needed:
-                return high - 1 if high > 1 else low
         return self.max or 0
 
     def as_dict(self) -> dict[str, object]:

@@ -184,3 +184,30 @@ class ShootdownBus:
         if hook is not None and message.kind == PROTECTION and hook(message):
             return  # intercepted: dropped, or held for delayed replay
         message.fire()
+
+
+# --------------------------------------------------------------------- #
+# Per-CPU counter views
+
+
+def per_cpu_stats(kernel) -> Stats:
+    """All CPUs' counters in one Stats, remote CPUs prefixed ``cpuN:``.
+
+    CPU 0 shares the kernel's own stats object, so its counters keep the
+    unprefixed single-CPU names; remote CPUs' private sinks are folded in
+    under the same ``cpuN:`` prefix the invariant checker uses.  This is
+    the per-CPU dimension live collectors expose, complementary to
+    :meth:`Kernel.merged_stats` which sums all CPUs namelessly.
+    """
+    out = Stats()
+    for ctx in kernel.cpus:
+        if ctx.stats is kernel.stats:
+            out.inc_many(ctx.stats.as_dict())
+        else:
+            out.inc_many(
+                {
+                    f"cpu{ctx.cpu_id}:{name}": count
+                    for name, count in ctx.stats.as_dict().items()
+                }
+            )
+    return out

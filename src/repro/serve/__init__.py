@@ -1,0 +1,9 @@
+"""Serve mode: an open-loop, virtual-time driver with live telemetry.
+
+See :mod:`repro.serve.driver` for the event loop and
+:mod:`repro.serve.exporters` for the Prometheus/JSONL/report outputs.
+"""
+
+from repro.serve.driver import ServeConfig, ServeResult, run_serve
+
+__all__ = ["ServeConfig", "ServeResult", "run_serve"]

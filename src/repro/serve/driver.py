@@ -1,0 +1,228 @@
+"""The open-loop serve driver: virtual time, continuous chaos, live SLOs.
+
+One :class:`ModelServer` per protection model runs the full duration on
+its own kernel.  Time is *virtual*: a seeded Poisson schedule says when
+requests arrive (microseconds), each request's simulated-cycle cost is
+converted to service time at ``cycles_per_us``, and a single-queue
+server model (start = max(arrival, previous completion)) yields queueing
+delay under load.  No wall clock enters any output, so two runs with the
+same seed produce byte-identical JSONL streams and SLO summaries.
+
+Chaos runs continuously: a :class:`~repro.faults.plan.FaultPlan` sized
+to the expected request count is armed for the whole run and ticked once
+per request; the scrubber fires as a periodic background repair loop on
+the same virtual clock.  A request that dies with a protection or
+hardware fault is retried once after an immediate scrub; a second death
+is an *unrecovered divergence*, reported per class and reflected in the
+process exit status.
+
+Observability rides on the PR-1 tracer: each model's kernel gets a
+:class:`~repro.obs.tracer.Tracer` whose ``metrics`` sink is the model's
+:class:`~repro.obs.live.LiveCollector`, so every traced verb feeds the
+per-verb latency sketches at span exit.  Request-level cost is measured
+as the ``merged_stats()`` delta across the request (all CPUs, including
+remote shootdown work), weighted by the standard cycle model.  Span
+forests are dropped after every request — the collector has already
+consumed them — so a long-running server holds no per-request state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import IO
+
+from repro.core.costs import cycles_for
+from repro.faults.errors import HardwareFault
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.scrub import Scrubber
+from repro.obs.live import LiveCollector
+from repro.obs.tracer import Tracer
+from repro.os.kernel import Kernel, SegmentationViolation
+from repro.serve.exporters import JsonlExporter, PrometheusExporter
+from repro.workloads.openloop import arrival_schedule, make_sources
+
+#: Default open-loop arrival rates, requests per virtual second.
+DEFAULT_RATES: dict[str, float] = {
+    "txn": 60.0,
+    "gc": 20.0,
+    "rpc": 150.0,
+    "checkpoint": 12.0,
+}
+
+
+@dataclass
+class ServeConfig:
+    """Everything a serve run depends on (all of it seeds determinism)."""
+
+    duration_ms: int = 1000
+    seed: int = 0
+    models: tuple[str, ...] = ("plb",)
+    cpus: int = 1
+    plan: str | None = None
+    rates: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_RATES))
+    snapshot_every_ms: int = 100
+    scrub_every_ms: int = 50
+    #: Virtual CPU speed: simulated cycles consumed per virtual µs.
+    cycles_per_us: int = 200
+
+    @property
+    def duration_us(self) -> int:
+        return self.duration_ms * 1000
+
+    def expected_requests(self) -> int:
+        """Upper estimate of per-model request count, for chaos sizing."""
+        per_sec = sum(self.rates.values())
+        return int(per_sec * self.duration_ms / 1000 * 1.5) + 32
+
+
+@dataclass
+class ServeResult:
+    """What one serve run produced (per model)."""
+
+    summaries: dict[str, dict] = field(default_factory=dict)
+    stats: dict[str, object] = field(default_factory=dict)
+    snapshots: int = 0
+    unrecovered: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def diverged(self) -> bool:
+        return any(self.unrecovered.values())
+
+
+class ModelServer:
+    """One protection model served under open-loop load."""
+
+    def __init__(self, model: str, config: ServeConfig) -> None:
+        self.model = model
+        self.config = config
+        self.kernel = Kernel(model, n_cpus=config.cpus)
+        self.collector = LiveCollector(model)
+        self.tracer = Tracer(self.kernel.stats, metrics=self.collector)
+        self.kernel.attach_tracer(self.tracer)
+        self.sources = make_sources(
+            self.kernel, sorted(config.rates), config.seed
+        )
+        self.scrubber = Scrubber(self.kernel)
+        self.injector: FaultInjector | None = None
+        if config.plan and config.plan != "none":
+            plan = FaultPlan.generate(
+                config.plan, config.seed, n_ops=config.expected_requests()
+            )
+            self.injector = FaultInjector(plan)
+            self.injector.arm(self.kernel)
+        self.busy_until_us = 0
+        self.op_index = 0
+        self.unrecovered = 0
+        self._baseline = self.kernel.merged_stats()
+
+    # -------------------------------------------------------------- #
+
+    def handle(self, t_us: int, klass: str) -> None:
+        """Serve one arrival: tick chaos, execute, retry-or-fail, poll."""
+        source = self.sources[klass]
+        if self.injector is not None:
+            self.injector.tick(self.op_index)
+        self.op_index += 1
+        start_us = max(t_us, self.busy_until_us)
+        before = self.kernel.merged_stats()
+        refs = self._execute(source, klass, t_us, start_us)
+        after = self.kernel.merged_stats()
+        cycles = cycles_for(after.delta(before))
+        service_us = max(1, -(-cycles // self.config.cycles_per_us))
+        self.busy_until_us = start_us + service_us
+        if refs is not None:
+            self.collector.observe_request(klass, cycles, refs)
+        self.collector.poll(self.busy_until_us, after.as_dict())
+        # Spans were consumed by the collector at exit; drop the forest.
+        self.tracer.roots.clear()
+
+    def _execute(self, source, klass: str, t_us: int, start_us: int) -> int | None:
+        try:
+            with self.tracer.span(f"serve.{klass}", t_us=t_us):
+                return source.execute()
+        except (SegmentationViolation, HardwareFault):
+            source.recover()
+            self.scrubber.scrub()
+            self.collector.observe_retry(klass, start_us)
+        try:
+            with self.tracer.span(f"serve.{klass}", t_us=t_us, retry=1):
+                return source.execute()
+        except (SegmentationViolation, HardwareFault) as exc:
+            source.recover()
+            self.collector.observe_failure(klass, start_us, type(exc).__name__)
+            self.unrecovered += 1
+            return None
+
+    def scrub_tick(self) -> None:
+        if self.injector is not None:
+            self.injector.flush_delayed()
+        self.scrubber.scrub()
+
+    def finish(self) -> None:
+        if self.injector is not None:
+            self.injector.disarm()
+
+    def run_delta(self):
+        """The whole run's counter movement (all CPUs)."""
+        return self.kernel.merged_stats().delta(self._baseline)
+
+
+# ------------------------------------------------------------------- #
+# The event loop
+
+
+def run_serve(
+    config: ServeConfig,
+    *,
+    jsonl_fp: IO[str] | None = None,
+    prom_path: str | None = None,
+) -> ServeResult:
+    """Serve every configured model for the full virtual duration."""
+    result = ServeResult()
+    jsonl = JsonlExporter(jsonl_fp) if jsonl_fp is not None else None
+    prom = PrometheusExporter(prom_path) if prom_path is not None else None
+
+    for model in config.models:
+        server = ModelServer(model, config)
+        collector = server.collector
+        duration = config.duration_us
+        snap_every = config.snapshot_every_ms * 1000
+        scrub_every = config.scrub_every_ms * 1000
+        next_snap = snap_every
+        next_scrub = scrub_every
+        last_snap = 0
+
+        def fire_snapshot(at_us: int) -> None:
+            nonlocal last_snap
+            snapshot = collector.snapshot(at_us, at_us - last_snap)
+            last_snap = at_us
+            result.snapshots += 1
+            if jsonl is not None:
+                jsonl.write(snapshot)
+            if prom is not None:
+                prom.update(model, snapshot)
+
+        for t_us, klass in arrival_schedule(config.rates, config.seed, duration):
+            while min(next_scrub, next_snap) <= t_us:
+                if next_scrub <= next_snap:
+                    server.scrub_tick()
+                    next_scrub += scrub_every
+                else:
+                    fire_snapshot(next_snap)
+                    next_snap += snap_every
+            server.handle(t_us, klass)
+        while next_snap < duration:
+            fire_snapshot(next_snap)
+            next_snap += snap_every
+        server.scrub_tick()
+        # Drain counter movement from the final scrub into the event
+        # stream, then close the run with a snapshot at the boundary.
+        collector.poll(duration, server.kernel.merged_stats().as_dict())
+        fire_snapshot(duration)
+        server.finish()
+
+        result.summaries[model] = collector.slo_summary(duration)
+        result.stats[model] = server.run_delta()
+        result.unrecovered[model] = server.unrecovered
+
+    return result

@@ -1,0 +1,158 @@
+"""Serve-mode exporters: Prometheus text format and streaming JSONL.
+
+Both exporters consume the snapshot dicts produced by
+:meth:`repro.obs.live.LiveCollector.snapshot` and contain no wall-clock
+state of their own — identical snapshot streams produce byte-identical
+output, which is what the serve determinism contract tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Mapping
+
+
+class JsonlExporter:
+    """One JSON object per line, keys sorted — a diffable metric stream."""
+
+    def __init__(self, fp: IO[str]) -> None:
+        self.fp = fp
+        self.lines = 0
+
+    def write(self, record: Mapping[str, object]) -> None:
+        self.fp.write(json.dumps(record, sort_keys=True) + "\n")
+        self.lines += 1
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _labels(**labels: str) -> str:
+    inner = ",".join(
+        f'{key}="{_prom_escape(value)}"' for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshots: Mapping[str, Mapping[str, object]]) -> str:
+    """Render the latest per-model snapshots as Prometheus text format.
+
+    ``snapshots`` maps model name to that model's most recent snapshot
+    dict.  Families cover the SLO surface: request/ref totals and rates,
+    per-class and per-verb latency quantiles (simulated cycles), fault
+    and scrub counters, and recovery-time quantiles (virtual µs).
+    """
+    lines: list[str] = []
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    family("repro_requests_total", "counter", "Requests served")
+    for model, snap in sorted(snapshots.items()):
+        per_class = snap["requests"]["per_class"]  # type: ignore[index]
+        for klass, counts in per_class.items():  # type: ignore[union-attr]
+            lines.append(
+                f"repro_requests_total{_labels(model=model, **{'class': klass})}"
+                f" {counts['total']}"
+            )
+
+    family("repro_refs_total", "counter", "Simulated memory references issued")
+    for model, snap in sorted(snapshots.items()):
+        lines.append(
+            f"repro_refs_total{_labels(model=model)} {snap['refs']['total']}"  # type: ignore[index]
+        )
+
+    family(
+        "repro_refs_per_sec",
+        "gauge",
+        "Reference throughput over the last snapshot window (virtual time)",
+    )
+    for model, snap in sorted(snapshots.items()):
+        lines.append(
+            f"repro_refs_per_sec{_labels(model=model)}"
+            f" {snap['rates']['refs_per_sec']}"  # type: ignore[index]
+        )
+
+    family(
+        "repro_request_latency_cycles",
+        "gauge",
+        "Per-request simulated-cycle latency quantiles, by workload class",
+    )
+    for model, snap in sorted(snapshots.items()):
+        per_class = snap["latency_cycles"]["per_class"]  # type: ignore[index]
+        for klass, sketch in per_class.items():  # type: ignore[union-attr]
+            for quantile in ("p50", "p99", "p999"):
+                lines.append(
+                    "repro_request_latency_cycles"
+                    + _labels(model=model, quantile=quantile, **{"class": klass})
+                    + f" {sketch[quantile]}"
+                )
+
+    family(
+        "repro_verb_latency_cycles",
+        "gauge",
+        "Per-span simulated-cycle latency quantiles, by traced verb",
+    )
+    for model, snap in sorted(snapshots.items()):
+        per_verb = snap["latency_cycles"]["per_verb"]  # type: ignore[index]
+        for verb, sketch in per_verb.items():  # type: ignore[union-attr]
+            for quantile in ("p50", "p99", "p999"):
+                lines.append(
+                    "repro_verb_latency_cycles"
+                    + _labels(model=model, verb=verb, quantile=quantile)
+                    + f" {sketch[quantile]}"
+                )
+
+    family("repro_faults_injected_total", "counter", "Faults injected by the chaos plan")
+    family_rows = []
+    for model, snap in sorted(snapshots.items()):
+        faults = snap["faults"]  # type: ignore[index]
+        family_rows.append((model, faults))
+        lines.append(
+            f"repro_faults_injected_total{_labels(model=model)} {faults['injected']}"
+        )
+    family("repro_faults_recovered_total", "counter", "Faults recovered by the kernel")
+    for model, faults in family_rows:
+        lines.append(
+            f"repro_faults_recovered_total{_labels(model=model)} {faults['recovered']}"
+        )
+    family("repro_scrub_repairs_total", "counter", "Scrubber cache repairs")
+    for model, faults in family_rows:
+        lines.append(
+            f"repro_scrub_repairs_total{_labels(model=model)} {faults['scrub_repairs']}"
+        )
+
+    family(
+        "repro_recovery_time_us",
+        "gauge",
+        "Inject-to-recover virtual-time quantiles",
+    )
+    for model, snap in sorted(snapshots.items()):
+        recovery = snap["recovery_time_us"]  # type: ignore[index]
+        for quantile in ("p50", "p99", "p999"):
+            lines.append(
+                "repro_recovery_time_us"
+                + _labels(model=model, quantile=quantile)
+                + f" {recovery[quantile]}"
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+class PrometheusExporter:
+    """Rewrites one textfile per snapshot round (textfile-collector style)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._latest: dict[str, Mapping[str, object]] = {}
+
+    def update(self, model: str, snapshot: Mapping[str, object]) -> None:
+        self._latest[model] = snapshot
+        with open(self.path, "w") as fp:
+            fp.write(render_prometheus(self._latest))

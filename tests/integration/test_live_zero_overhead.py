@@ -1,0 +1,75 @@
+"""Zero-overhead-when-off contract for the serve-mode live hooks.
+
+Serve mode attaches tracers, live collectors, arrival processes, and a
+continuous fault injector.  None of that may perturb a batch run that
+does not ask for it: with no collector attached, the seeded mixed-verb
+scenario must stay byte-identical to the committed single-CPU golden
+(``benchmarks/baselines/single_cpu_stats.json``) even after every
+serve-mode module has been imported and exercised in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+# Importing the serve stack up front is part of the contract under test:
+# module import alone must not register hooks anywhere.
+import repro.obs.live  # noqa: F401
+import repro.serve.driver  # noqa: F401
+import repro.serve.exporters  # noqa: F401
+import repro.workloads.openloop  # noqa: F401
+from repro.analysis.table1 import run_rpc
+from repro.obs.live import LiveCollector
+from repro.os.kernel import MODELS
+
+from tests.integration.test_single_cpu_baseline import drive
+
+BASELINE = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "baselines"
+    / "single_cpu_stats.json"
+)
+
+
+def _golden() -> dict[str, dict[str, int]]:
+    return json.loads(BASELINE.read_text())
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_batch_run_matches_golden_with_live_modules_imported(model):
+    assert drive(model) == _golden()[model]
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_detached_collector_does_not_perturb_batch_runs(model):
+    """A constructed-but-unattached collector is invisible to the kernel."""
+    collector = LiveCollector(model)
+    counts = drive(model)
+    assert counts == _golden()[model]
+    # Nothing leaked into the collector either.
+    assert collector.requests.total == 0
+    assert collector.verb_sketches == {}
+
+
+def test_workload_batch_output_unchanged_by_live_stack():
+    """A Table 1 workload run (the `workload` CLI path) is reproducible
+    with the live stack resident in the process."""
+    first = run_rpc(models=("plb",)).stats_by_model["plb"].as_dict()
+    LiveCollector("plb")  # resident but unattached
+    second = run_rpc(models=("plb",)).stats_by_model["plb"].as_dict()
+    assert first == second
+
+
+def test_serve_run_leaves_no_residue_in_fresh_kernels():
+    """After a full serve run in-process, batch kernels still match."""
+    from repro.serve.driver import ServeConfig, run_serve
+
+    run_serve(
+        ServeConfig(duration_ms=40, seed=3, models=("plb",), plan="mixed")
+    )
+    for model in MODELS:
+        assert drive(model) == _golden()[model]

@@ -1,0 +1,143 @@
+"""Unit tests for the streaming serve-mode collectors."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.live import (
+    LatencySketch,
+    LiveCollector,
+    P2Quantile,
+    WindowedCounter,
+)
+
+
+class TestP2Quantile:
+    def test_exact_for_small_samples(self):
+        sketch = P2Quantile(0.5)
+        for value in (10, 30, 20):
+            sketch.add(value)
+        assert sketch.value() == 20
+
+    def test_tracks_the_median_of_a_uniform_stream(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0, 1000) for _ in range(5000)]
+        sketch = P2Quantile(0.5)
+        for value in values:
+            sketch.add(value)
+        exact = sorted(values)[2500]
+        assert sketch.value() == pytest.approx(exact, rel=0.05)
+
+    def test_tracks_the_p99_of_a_uniform_stream(self):
+        rng = random.Random(11)
+        values = [rng.uniform(0, 1000) for _ in range(5000)]
+        sketch = P2Quantile(0.99)
+        for value in values:
+            sketch.add(value)
+        exact = sorted(values)[int(0.99 * 5000)]
+        assert sketch.value() == pytest.approx(exact, rel=0.05)
+
+    def test_deterministic_for_a_fixed_sequence(self):
+        def run():
+            sketch = P2Quantile(0.99)
+            for i in range(1000):
+                sketch.add((i * 37) % 101)
+            return sketch.value()
+
+        assert run() == run()
+
+    def test_rejects_degenerate_quantiles(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestLatencySketch:
+    def test_counts_totals_and_bounds(self):
+        sketch = LatencySketch()
+        for value in (5, 1, 9):
+            sketch.add(value)
+        data = sketch.as_dict()
+        assert data["count"] == 3
+        assert data["total"] == 15
+        assert data["min"] == 1 and data["max"] == 9
+        assert data["p50"] == 5
+
+    def test_quantiles_clamped_to_observed_range(self):
+        sketch = LatencySketch()
+        for value in range(100):
+            sketch.add(value)
+        quantiles = sketch.quantiles()
+        assert 0 <= quantiles["p50"] <= 99
+        assert quantiles["p50"] <= quantiles["p99"] <= quantiles["p999"] <= 99
+
+    def test_as_dict_keys_are_the_slo_schema(self):
+        assert sorted(LatencySketch().as_dict()) == [
+            "count", "max", "mean", "min", "p50", "p99", "p999", "total",
+        ]
+
+
+class TestWindowedCounter:
+    def test_roll_closes_the_window(self):
+        counter = WindowedCounter()
+        counter.add(3)
+        assert counter.window() == 3
+        assert counter.roll() == 3
+        counter.add(2)
+        assert counter.roll() == 2
+        assert counter.total == 5
+
+
+class TestLiveCollector:
+    def test_requests_feed_class_sketches_and_rates(self):
+        collector = LiveCollector("plb")
+        collector.observe_request("rpc", cycles=100, refs=72)
+        collector.observe_request("rpc", cycles=300, refs=72)
+        snap = collector.snapshot(1_000_000, window_us=1_000_000)
+        assert snap["requests"]["total"] == 2
+        assert snap["requests"]["per_class"]["rpc"]["window"] == 2
+        assert snap["rates"]["requests_per_sec"] == 2.0
+        assert snap["rates"]["refs_per_sec"] == 144.0
+        assert snap["latency_cycles"]["per_class"]["rpc"]["count"] == 2
+
+    def test_poll_derives_inject_and_recovery_events(self):
+        collector = LiveCollector("plb")
+        collector.poll(100, {"faults.injected": 1})
+        collector.poll(400, {"faults.injected": 1, "faults.recovered": 1})
+        snap = collector.snapshot(1000, window_us=1000)
+        kinds = [event["event"] for event in snap["events"]]
+        assert kinds == ["fault_injected", "fault_recovered"]
+        recovery = snap["recovery_time_us"]
+        assert recovery["count"] == 1
+        assert recovery["p50"] == 300
+        assert snap["faults"]["outstanding"] == 0
+
+    def test_scrub_repair_also_closes_an_outstanding_inject(self):
+        collector = LiveCollector("plb")
+        collector.poll(50, {"faults.injected": 2})
+        collector.poll(250, {"faults.injected": 2, "scrub.repairs": 1})
+        summary = collector.slo_summary(1000)
+        assert summary["faults"]["outstanding"] == 1
+        assert summary["recovery_time_us"]["count"] == 1
+        assert summary["recovery_time_us"]["p50"] == 200
+
+    def test_snapshot_drains_the_event_stream(self):
+        collector = LiveCollector("plb")
+        collector.poll(10, {"smp.shootdown.msgs": 4})
+        first = collector.snapshot(100, window_us=100)
+        second = collector.snapshot(200, window_us=100)
+        assert [event["event"] for event in first["events"]] == ["shootdown"]
+        assert second["events"] == []
+
+    def test_verb_sketches_key_by_span_name(self):
+        class FakeSpan:
+            name = "kernel.attach"
+            cycles = 42
+
+        collector = LiveCollector("plb")
+        collector.observe_span(FakeSpan())
+        summary = collector.slo_summary(1000)
+        assert summary["latency_cycles_per_verb"]["kernel.attach"]["count"] == 1

@@ -37,7 +37,34 @@ class TestHistogram:
             h.add(value)
         assert h.mean == pytest.approx(250.75)
         assert h.percentile(0.5) == 1
-        assert h.percentile(1.0) == 1023  # upper bound of the tail bucket
+        # Interpolated within the tail bucket and clamped to the observed
+        # max — not the bucket's upper bound (1023).
+        assert h.percentile(1.0) == 1000
+
+    def test_percentile_interpolates_within_bucket(self):
+        # 100 values spread across the [64, 128) bucket: the old
+        # upper-bound behavior returned 127 for *every* quantile that
+        # landed here; interpolation walks through the bucket by rank.
+        h = Histogram()
+        for value in range(64, 128):
+            h.add(value)
+        p50 = h.percentile(0.5)
+        p99 = h.percentile(0.99)
+        assert 64 <= p50 < p99 <= 127
+        assert p50 == 96  # halfway through [64, 128)
+        # Quantiles never escape the observed range.
+        assert h.percentile(0.01) >= h.min
+        assert h.percentile(1.0) <= h.max
+
+    def test_percentile_fix_keeps_as_dict_shape(self):
+        # The as_dict() contract is unchanged by the percentile fix.
+        h = Histogram()
+        for value in (1, 1, 1, 1000):
+            h.add(value)
+        data = h.as_dict()
+        assert sorted(data) == ["buckets", "count", "max", "mean", "min", "total"]
+        assert data["buckets"] == [[1, 2, 3], [512, 1024, 1]]
+        assert data["count"] == 4 and data["max"] == 1000
 
     def test_rejects_negative_values(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,101 @@
+"""SMP × observability: tracers and collectors on multi-CPU kernels.
+
+The per-CPU dimension of live telemetry rests on two merge views:
+``Kernel.merged_stats()`` (all CPUs summed, nameless) and
+``per_cpu_stats()`` (CPU 0 unprefixed, remote CPUs under ``cpuN:``).
+These tests pin their consistency with single-CPU semantics while a
+tracer + live collector are attached.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rights import Rights
+from repro.obs.live import LiveCollector
+from repro.obs.tracer import Tracer
+from repro.os.kernel import MODELS, Kernel
+from repro.os.smp import per_cpu_stats
+from repro.sim.machine import Machine
+
+
+def _drive_two_cpus(model: str, *, traced: bool):
+    kernel = Kernel(model, n_frames=128, n_cpus=2)
+    collector = LiveCollector(model)
+    if traced:
+        tracer = Tracer(kernel.stats, metrics=collector)
+        kernel.attach_tracer(tracer)
+    doms = [kernel.create_domain(f"d{i}") for i in range(2)]
+    seg = kernel.create_segment("shared", 8)
+    for dom in doms:
+        kernel.attach(dom, seg, Rights.RW)
+    machines = [Machine(kernel, cpu=ctx) for ctx in kernel.cpus]
+    page = kernel.params.page_size
+    for rounds in range(3):
+        for cpu_id, machine in enumerate(machines):
+            for p in range(8):
+                machine.read(doms[cpu_id], (seg.base_vpn + p) * page)
+    # Protection churn from CPU 0 shoots down CPU 1's cached rights.
+    kernel.set_current_cpu(0)
+    kernel.detach(doms[1], seg)
+    machines[0].write(doms[0], seg.base_vpn * page)
+    return kernel, collector
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_merged_stats_equals_per_cpu_stats_sum(model):
+    kernel, _ = _drive_two_cpus(model, traced=True)
+    merged = kernel.merged_stats().as_dict()
+    per_cpu = per_cpu_stats(kernel).as_dict()
+    # Strip the cpuN: prefixes and re-sum: must reproduce merged exactly.
+    resummed: dict[str, int] = {}
+    for name, count in per_cpu.items():
+        bare = name.split(":", 1)[1] if name.startswith("cpu") and ":" in name else name
+        resummed[bare] = resummed.get(bare, 0) + count
+    assert resummed == merged
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_cpu0_counters_stay_unprefixed(model):
+    kernel, _ = _drive_two_cpus(model, traced=True)
+    per_cpu = per_cpu_stats(kernel).as_dict()
+    kernel_counts = kernel.stats.as_dict()
+    unprefixed = {
+        name: count for name, count in per_cpu.items()
+        if not (name.startswith("cpu") and ":" in name)
+    }
+    assert unprefixed == kernel_counts
+    # Remote CPU counters all carry the invariant-checker prefix.
+    remote = {name for name in per_cpu if name not in unprefixed}
+    assert remote and all(name.startswith("cpu1:") for name in remote)
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_single_cpu_per_cpu_view_is_the_kernel_stats(model):
+    kernel = Kernel(model, n_frames=128, n_cpus=1)
+    dom = kernel.create_domain("d0")
+    seg = kernel.create_segment("seg", 4)
+    kernel.attach(dom, seg, Rights.RW)
+    machine = Machine(kernel)
+    for p in range(4):
+        machine.read(dom, (seg.base_vpn + p) * kernel.params.page_size)
+    assert per_cpu_stats(kernel).as_dict() == kernel.stats.as_dict()
+    assert kernel.merged_stats().as_dict() == kernel.stats.as_dict()
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_collector_sees_verb_spans_under_multi_cpu(model):
+    _, collector = _drive_two_cpus(model, traced=True)
+    verbs = collector.slo_summary(1000)["latency_cycles_per_verb"]
+    assert "kernel.attach" in verbs
+    assert verbs["kernel.attach"]["count"] >= 2
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_tracer_attachment_does_not_change_merged_totals(model):
+    """Tracing changes attribution, never the counted hardware events."""
+    untraced, _ = _drive_two_cpus(model, traced=False)
+    traced, _ = _drive_two_cpus(model, traced=True)
+    assert (
+        traced.merged_stats().as_dict() == untraced.merged_stats().as_dict()
+    )

@@ -1,0 +1,87 @@
+"""CLI surface of serve mode and the bench report satellite."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestServeCommand:
+    def test_serve_prints_slo_summary_and_exits_zero(self, capsys):
+        assert main([
+            "serve", "--duration", "100", "--seed", "7", "--models", "plb",
+            "--plan", "mixed",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Serve SLO summary" in out
+        assert "[plb] latency (simulated cycles)" in out
+
+    def test_serve_writes_all_three_exports(self, tmp_path, capsys):
+        jsonl = tmp_path / "metrics.jsonl"
+        prom = tmp_path / "metrics.prom"
+        report = tmp_path / "slo.json"
+        assert main([
+            "serve", "--duration", "100", "--seed", "7", "--models", "plb",
+            "--plan", "mixed",
+            "--jsonl-out", str(jsonl),
+            "--prom-out", str(prom),
+            "--report-out", str(report),
+        ]) == 0
+        capsys.readouterr()
+        lines = jsonl.read_text().splitlines()
+        assert lines and all(json.loads(line)["model"] == "plb" for line in lines)
+        assert "# TYPE repro_requests_total counter" in prom.read_text()
+        data = json.loads(report.read_text())
+        assert [r["title"] for r in data["reports"]] == ["serve-plb"]
+        assert data["reports"][0]["summary"]["sustained_refs_per_sec"] > 0
+
+    def test_serve_divergence_exits_one(self, capsys):
+        assert main([
+            "serve", "--duration", "400", "--seed", "2", "--models", "plb",
+            "--plan", "unrecoverable", "--rates", "rpc=150",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "unrecovered divergence" in err
+
+    def test_serve_rejects_unknown_preset_and_class(self, capsys):
+        assert main(["serve", "--plan", "bogus"]) == 2
+        capsys.readouterr()
+        assert main(["serve", "--rates", "bogus=3"]) == 2
+
+    def test_serve_rejects_degenerate_knobs(self, capsys):
+        assert main(["serve", "--duration", "0"]) == 2
+        capsys.readouterr()
+        assert main(["serve", "--cpus", "0"]) == 2
+        capsys.readouterr()
+        assert main(["serve", "--rates", "rpc=-1"]) == 2
+
+
+class TestBenchReportOut:
+    def test_bench_writes_structured_throughput_reports(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--models", "plb", "--refs", "2000", "--pages", "2",
+            "--report-out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert [r["title"] for r in data["reports"]] == ["bench-replay-plb"]
+        summary = data["reports"][0]["summary"]
+        assert summary["refs"] == 2000
+        assert summary["refs_per_sec_full"] > 0
+        assert summary["refs_per_sec_fast"] > 0
+        assert summary["stats_identical"] is True
+        # The counters themselves ride along for regression tooling.
+        assert data["reports"][0]["counters"]["refs"] == 2000
+
+    def test_bench_registers_reports_with_benchout(self, capsys):
+        from repro.analysis import benchout
+
+        benchout.clear()
+        assert main(["bench", "--models", "plb", "--refs", "1000"]) == 0
+        capsys.readouterr()
+        reports = benchout.run_reports()
+        assert [r.title for r in reports] == ["bench-replay-plb"]
+        assert reports[0].summary["refs_per_sec_full"] > 0
+        benchout.clear()
