@@ -526,26 +526,26 @@ def cmd_workload(name: str, models: Sequence[str], jobs: int = 1) -> str:
     return "\n".join(lines)
 
 
-def _bench_setup(model: str, pages: int, fast: bool):
+def _bench_setup(model: str, pages: int, fast: bool, fuse: bool = True):
     """One bench kernel: a single domain with one RW segment."""
     from repro.core.rights import Rights
 
     kernel = Kernel(model)
-    machine = Machine(kernel, fast_path=fast)
+    machine = Machine(kernel, fast_path=fast, fuse_runs=fuse)
     domain = kernel.create_domain("bench")
     segment = kernel.create_segment("bench-data", pages)
     kernel.attach(domain, segment, Rights.RW)
     return machine, domain, segment
 
 
-def _bench_machine(model: str, pages: int, fast: bool) -> Machine:
+def _bench_machine(model: str, pages: int, fast: bool, fuse: bool = True) -> Machine:
     """Shard-worker factory (module-level: picklable via
     ``functools.partial`` for :meth:`Machine.run_sharded` workers).
 
     Rebuilds exactly the :func:`_bench_setup` kernel, so the deterministic
     pd_id in a recorded trace resolves to the same domain in any worker.
     """
-    return _bench_setup(model, pages, fast)[0]
+    return _bench_setup(model, pages, fast, fuse)[0]
 
 
 def cmd_bench(
@@ -556,14 +556,16 @@ def cmd_bench(
     jobs: int,
     report_out: str | None = None,
 ) -> str:
-    """Replay throughput, full path vs fast path, optionally sharded.
+    """Replay throughput at all three rungs, optionally sharded.
 
-    Both modes replay the *same* shards through identically built
-    kernels, so their merged counters must be byte-identical — the bench
-    doubles as a live equivalence check.  Each model's wall-clock
-    throughput also lands in a structured RunReport (registered with
-    :mod:`repro.analysis.benchout`, and written to ``--report-out`` when
-    given), so bench runs leave a machine-readable trajectory.
+    Full walk, per-hit recipe (``fuse_runs=False``, the PR-4 fast path)
+    and fused-run replay all process the *same* shards through
+    identically built kernels, so their merged counters must be
+    byte-identical — the bench doubles as a live equivalence check.
+    Each model's wall-clock throughput also lands in a structured
+    RunReport (registered with :mod:`repro.analysis.benchout`, and
+    written to ``--report-out`` when given), so bench runs leave a
+    machine-readable trajectory.
     """
     import functools
     import time
@@ -588,18 +590,24 @@ def cmd_bench(
         shards = [trace[i : i + chunk] for i in range(0, len(trace), chunk)]
         timing = {}
         stats = {}
-        for mode, fast in (("full", False), ("fast", True)):
-            factory = functools.partial(_bench_machine, model, pages, fast)
+        for mode, fast, fuse in (
+            ("full", False, False),
+            ("recipe", True, False),
+            ("fused", True, True),
+        ):
+            factory = functools.partial(_bench_machine, model, pages, fast, fuse)
             start = time.perf_counter()
             merged = probe.run_sharded(shards, jobs=jobs, factory=factory)
             timing[mode] = time.perf_counter() - start
             stats[mode] = merged.as_dict()
+        identical = stats["full"] == stats["recipe"] == stats["fused"]
         rows.append([
             model,
             f"{refs / timing['full'] / 1000:.0f}k/s",
-            f"{refs / timing['fast'] / 1000:.0f}k/s",
-            f"{timing['full'] / timing['fast']:.2f}x",
-            "yes" if stats["full"] == stats["fast"] else "NO",
+            f"{refs / timing['recipe'] / 1000:.0f}k/s",
+            f"{refs / timing['fused'] / 1000:.0f}k/s",
+            f"{timing['full'] / timing['fused']:.2f}x",
+            "yes" if identical else "NO",
         ])
         reports.append(
             build_run_report(
@@ -612,18 +620,23 @@ def cmd_bench(
                     "seed": seed,
                     "jobs": jobs,
                     "refs_per_sec_full": round(refs / timing["full"], 1),
-                    "refs_per_sec_fast": round(refs / timing["fast"], 1),
+                    "refs_per_sec_recipe": round(refs / timing["recipe"], 1),
+                    "refs_per_sec_fused": round(refs / timing["fused"], 1),
                     "wall_seconds_full": round(timing["full"], 4),
-                    "wall_seconds_fast": round(timing["fast"], 4),
-                    "speedup": round(timing["full"] / timing["fast"], 3),
-                    "stats_identical": stats["full"] == stats["fast"],
+                    "wall_seconds_recipe": round(timing["recipe"], 4),
+                    "wall_seconds_fused": round(timing["fused"], 4),
+                    "speedup_recipe": round(timing["full"] / timing["recipe"], 3),
+                    "speedup_fused": round(timing["full"] / timing["fused"], 3),
+                    "fused_vs_recipe": round(timing["recipe"] / timing["fused"], 3),
+                    "stats_identical": identical,
                 },
             )
         )
     from repro.analysis.report import format_table
 
     table = format_table(
-        ["model", "full path", "fast path", "speedup", "stats identical"],
+        ["model", "full path", "recipe path", "fused path", "speedup",
+         "stats identical"],
         rows,
         title=f"Replay throughput: {refs} refs, {pages} pages, "
         f"seed {seed}, jobs {jobs}",
@@ -639,7 +652,7 @@ def cmd_bench(
             )
             fp.write("\n")
     if any(row[-1] == "NO" for row in rows):
-        raise CLIError("fast path diverged from full path\n" + table)
+        raise CLIError("replay paths diverged from full path\n" + table)
     return table
 
 

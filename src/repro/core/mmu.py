@@ -307,6 +307,107 @@ class HotRecipe:
         return result
 
 
+class FusedRun:
+    """A whole run of consecutive pure-hit references, compiled once.
+
+    Where :class:`HotRecipe` replays one repeat hit, a fused run replays
+    a *run* — a maximal stretch of references with no kernel entry, no
+    fault and no epoch change between them — as a single step: one guard
+    validation for the whole run, one aggregated counter batch
+    (per-recipe counts × occurrence count), the run's R/M-bit sets, and
+    the LRU *end-state* rather than every intermediate touch.
+
+    Compiled from ``(recipe, n)`` pairs ordered by each key's **last**
+    occurrence in the run (ascending).  That ordering is what makes the
+    replay exact: in a real per-reference execution an entry's final LRU
+    position is decided by its overall last touch, so touching each
+    distinct key's structures once, in last-occurrence order, reproduces
+    the identical final recency order — including when several keys
+    share an entry (two lines in one page sharing a PLB entry end up
+    positioned by whichever key touched the entry last, which is exactly
+    the key with the greatest last occurrence).
+
+    Unlike the single-hit path, :meth:`apply` validates **every** guard
+    before performing any touch, so a fused run is all-or-nothing: on
+    any guard failure the caller replays the whole run through the
+    per-hit recipe path and machine state is byte-identical to never
+    having attempted the fusion.  Setting referenced/dirty bits once at
+    run end is equivalent to setting them per reference: the writes are
+    idempotent and nothing can observe them mid-run (observation
+    requires a kernel entry, which would have split the run).
+
+    Invalidation rides the same channel as recipes: the compiling
+    machine checks ``Kernel.mutation_epoch`` (its CPU's view, which
+    remote :class:`~repro.os.smp.ShootdownBus` deliveries bump via
+    ``bump_epoch_for_cpu``) once per run instead of once per reference,
+    and no kernel entry can occur *inside* :meth:`apply` — replayed hits
+    never trap — so a single up-front epoch check covers the entire run.
+    """
+
+    __slots__ = (
+        "length",
+        "counts",
+        "guard_steps",
+        "extra_guards",
+        "touch_steps",
+        "ref_entries",
+        "dirty_entries",
+    )
+
+    def __init__(self, pairs, length: int) -> None:
+        """Compile ``pairs`` of ``(HotRecipe, occurrences)``.
+
+        ``pairs`` must be ordered by each key's last occurrence in the
+        run (ascending); ``length`` is the total reference count (the
+        sum of occurrences), kept for telemetry.
+        """
+        self.length = length
+        counts: dict[str, int] = {}
+        guard_steps: list[tuple] = []
+        extra_guards = []
+        touch_steps = []
+        ref_entries: dict[int, object] = {}
+        dirty_entries: dict[int, object] = {}
+        for recipe, n in pairs:
+            for name, amount in recipe.counts_items:
+                counts[name] = counts.get(name, 0) + amount * n
+            guard_steps += recipe.guard_steps
+            extra = recipe.extra_guard
+            if extra is not None:
+                extra_guards.append(extra)
+            for odict, key, _entry, do_touch in recipe.guard_steps:
+                if do_touch:
+                    touch_steps.append((odict, key))
+            for entry in recipe.ref_entries:
+                ref_entries[id(entry)] = entry
+            for entry in recipe.dirty_entries:
+                dirty_entries[id(entry)] = entry
+        self.counts = counts
+        self.guard_steps = tuple(guard_steps)
+        self.extra_guards = tuple(extra_guards)
+        self.touch_steps = tuple(touch_steps)
+        self.ref_entries = tuple(ref_entries.values())
+        self.dirty_entries = tuple(dirty_entries.values())
+
+    def apply(self) -> bool:
+        """Replay the whole run; False (and *no* side effects) on any
+        stale guard, in which case the caller falls back to per-hit
+        replay of the same references."""
+        for odict, key, obj, _touch in self.guard_steps:
+            if odict.get(key) is not obj:
+                return False
+        for guard in self.extra_guards:
+            if not guard():
+                return False
+        for odict, key in self.touch_steps:
+            odict.move_to_end(key)
+        for entry in self.ref_entries:
+            entry.referenced = True
+        for entry in self.dirty_entries:
+            entry.dirty = True
+        return True
+
+
 # --------------------------------------------------------------------- #
 # Base machinery
 

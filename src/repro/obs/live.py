@@ -248,6 +248,19 @@ class LiveCollector:
         self._events: list[dict[str, object]] = []
         self._snapshots = 0
 
+    def seed_counters(self, counters: Mapping[str, int]) -> None:
+        """Baseline the watched counters from ``counters``.
+
+        Call once after server construction, before the first
+        :meth:`poll`: counter movement that happened during setup
+        (attach broadcasts on an SMP kernel land shootdown messages
+        before the first request exists) is baseline, not an event.
+        Without the seed, the first poll would emit phantom events for
+        all of it, timestamped at the first request's completion.
+        """
+        for name in WATCHED_COUNTERS:
+            self._watched[name] = counters.get(name, 0)
+
     # -------------------------------------------------------------- #
     # Inputs
 

@@ -144,9 +144,14 @@ class Kernel:
         #: (attach/detach, rights changes, unmap, domain switch, fault
         #: handling, injected corruption, ...) bumps it, and the memo in
         #: :class:`~repro.sim.machine.Machine` discards everything cached
-        #: under an older epoch.  Holds the *current* CPU's epoch; the
-        #: other CPUs' epochs park in their :class:`CpuContext` and are
-        #: swapped by :meth:`set_current_cpu`.
+        #: under an older epoch.  Fused runs
+        #: (:class:`~repro.core.mmu.FusedRun`) invalidate through this
+        #: same channel: a run is compiled from memoized recipes and
+        #: epoch-checked once at its head, which suffices because no
+        #: kernel entry — hence no bump — can occur inside a fused
+        #: replay.  Holds the *current* CPU's epoch; the other CPUs'
+        #: epochs park in their :class:`CpuContext` and are swapped by
+        #: :meth:`set_current_cpu`.
         self.mutation_epoch = 0
 
         options = dict(system_options or {})
@@ -213,7 +218,11 @@ class Kernel:
         self.mutation_epoch = ctx.mutation_epoch
 
     def bump_epoch_for_cpu(self, cpu_id: int) -> None:
-        """Invalidate one CPU's memoized fast-path hits."""
+        """Invalidate one CPU's memoized fast-path hits.
+
+        Remote shootdown deliveries land here, so a fused run on the
+        target CPU splits at its next chunk boundary exactly as a local
+        verb would split it."""
         if cpu_id == self.current_cpu:
             self.mutation_epoch += 1
         else:

@@ -114,6 +114,12 @@ class ModelServer:
         self.op_index = 0
         self.unrecovered = 0
         self._baseline = self.kernel.merged_stats()
+        # Construction is noisy: attaching the workload segments on an
+        # SMP kernel broadcasts shootdowns, and arming chaos may touch
+        # counters too.  Seed the collector's watched baseline from the
+        # post-construction counters so the first poll only reports
+        # movement caused by actual requests, not phantom setup events.
+        self.collector.seed_counters(self._baseline.as_dict())
 
     # -------------------------------------------------------------- #
 
@@ -211,10 +217,28 @@ def run_serve(
                     fire_snapshot(next_snap)
                     next_snap += snap_every
             server.handle(t_us, klass)
-        while next_snap < duration:
-            fire_snapshot(next_snap)
-            next_snap += snap_every
-        server.scrub_tick()
+        # Tail of the run, after the last arrival: both timers keep
+        # firing out to ``duration`` in time order (scrub first on ties,
+        # same as above), so delayed fault delivery and background
+        # repair hold their scrub_every_ms cadence even when arrivals
+        # end early.  Previously only snapshots fired here and the
+        # scrubber starved until the end-of-run drain.
+        while True:
+            scrub_due = next_scrub <= duration
+            snap_due = next_snap < duration
+            if scrub_due and (not snap_due or next_scrub <= next_snap):
+                server.scrub_tick()
+                next_scrub += scrub_every
+            elif snap_due:
+                fire_snapshot(next_snap)
+                next_snap += snap_every
+            else:
+                break
+        if next_scrub - scrub_every != duration:
+            # The cadence never landed exactly on the run boundary: one
+            # final off-cadence scrub drains delayed fault messages so
+            # the closing snapshot sees a fully-scrubbed machine.
+            server.scrub_tick()
         # Drain counter movement from the final scrub into the event
         # stream, then close the run with a snapshot at the boundary.
         collector.poll(duration, server.kernel.merged_stats().as_dict())

@@ -19,16 +19,30 @@ bumps it and the whole memo is discarded, so the fast path can never
 serve a hit across a protection or translation change.  Fast-path-on and
 fast-path-off runs produce byte-identical stats; the equivalence suite
 (``tests/sim/test_fastpath_equivalence.py``) pins that.
+
+On top of the per-hit memo sits the *fused-run* engine
+(:class:`~repro.core.mmu.FusedRun`): :meth:`Machine.run` scans a list
+trace in chunks, and when every reference in a chunk already has a
+resident recipe it compiles the chunk into one ``FusedRun`` — an
+aggregated counter batch, one guard validation, the LRU end-state — and
+replays it as a single step under a single epoch check.  Any non-Ref
+op, unmemoized key, stale guard or epoch change drops the chunk back to
+the per-op loop above (which itself falls back from recipe to full
+walk), so the three paths form a strict tower with byte-identical
+counters at every level.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+from collections import Counter
 from dataclasses import dataclass
+from itertools import repeat
+from operator import attrgetter, rshift
 from typing import Callable, Iterable, Sequence
 
-from repro.core.mmu import AccessResult, PageFault, ProtectionFault
+from repro.core.mmu import AccessResult, FusedRun, PageFault, ProtectionFault
 from repro.core.rights import AccessType
 from repro.os.domain import ProtectionDomain
 from repro.os.kernel import Kernel, SegmentationViolation
@@ -60,6 +74,15 @@ def _replay_shard(payload: tuple[Callable[[], "Machine"], list[TraceOp]]) -> dic
     return machine.run(shard).as_dict()
 
 
+# C-level field extractors for the fused-run chunk scan: ``attrgetter``
+# with a dotted path reaches ``access._value_`` (the interned string the
+# memo is keyed by) without a per-op Python frame.
+_GET_PD = attrgetter("pd_id")
+_GET_VADDR = attrgetter("vaddr")
+_GET_ACCESS = attrgetter("access._value_")
+_ONLY_REFS = frozenset((Ref,))
+
+
 class Machine:
     """Runs references (and whole traces) against one kernel.
 
@@ -70,6 +93,12 @@ class Machine:
             by recipe with byte-identical stats.  Exposed so the
             equivalence suite and the throughput benchmark can compare
             both modes.
+        fuse_runs: Enable fused-run replay on top of the memo (ignored
+            when ``fast_path`` is off): :meth:`run` compiles chunks of
+            consecutive memoized hits into :class:`FusedRun` steps.  Off,
+            :meth:`run` replays per-op through the recipe path — the
+            PR-4 behaviour, kept addressable so the benchmark can report
+            all three rungs (full / recipe / fused) separately.
         cpu: The :class:`~repro.os.smp.CpuContext` this machine drives
             (defaults to the kernel's current CPU — CPU 0 on a
             single-CPU kernel).  A machine is pinned: every touch runs
@@ -86,9 +115,32 @@ class Machine:
     #: the hit path free of bookkeeping.
     MEMO_CAPACITY = 65536
 
-    def __init__(self, kernel: Kernel, *, fast_path: bool = True, cpu=None) -> None:
+    #: Fused-run chunk size: :meth:`run` scans list traces this many ops
+    #: at a time.  Large enough to amortize the per-chunk bulk passes and
+    #: compile, small enough that one cold key only drops a bounded slice
+    #: back to the per-op loop.
+    FUSE_CHUNK = 4096
+
+    #: Compiled fused runs kept before the run cache is wholesale
+    #: cleared (same clear-don't-evict policy as the recipe memo).
+    FUSED_CACHE_CAPACITY = 1024
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        *,
+        fast_path: bool = True,
+        fuse_runs: bool = True,
+        cpu=None,
+    ) -> None:
         self.kernel = kernel
         self.fast_path = fast_path
+        self.fuse_runs = fuse_runs
+        #: Telemetry (plain attributes, *not* Stats counters — counters
+        #: must stay byte-identical across full/recipe/fused modes):
+        #: maximal streaks of fused chunks, and references replayed fused.
+        self.fused_runs = 0
+        self.fused_refs = 0
         #: The CPU this machine is pinned to (see class docstring).
         self.cpu = cpu if cpu is not None else kernel.cpus[kernel.current_cpu]
         self._cpu_id = self.cpu.cpu_id
@@ -105,11 +157,25 @@ class Machine:
         #: instead of a full (pin + allocate) recipe construction.
         self._seen: set[tuple] = set()
         self._memo_epoch = -1
+        #: (trace id, chunk offset) -> (chunk copy, FusedRun): runs are
+        #: compiled *once* and replayed on later passes over the same
+        #: trace.  The id is only a hint — a hit revalidates by comparing
+        #: the live slice against the stored copy (element identity
+        #: short-circuits at C speed, and value-equal Refs replay
+        #: identically by definition), so id reuse or in-place trace
+        #: mutation can never replay a stale compilation.  Valid for
+        #: ``_memo_epoch``, cleared with the memo.
+        self._fused_cache: dict[tuple[int, int], tuple[list, FusedRun]] = {}
+        #: Epoch the fused cache is valid for — tracked separately from
+        #: ``_memo_epoch`` because :meth:`touch` advances that one (and
+        #: clears the memo) without seeing the fused cache.
+        self._fused_epoch = -1
         self._line_shift = kernel.params.line_offset_bits
-        # Raw counter store: the memo hit path merges a recipe's counts
-        # with an inline loop, skipping even the inc_many call.  Bound to
-        # the pinned CPU's stats (CPU 0 shares the kernel stats object).
-        self._counts = self.cpu.stats._counts
+        # Raw counter store: the memo hit path and the fused-run merge
+        # use an inline loop over it, skipping even the inc_many call.
+        # Bound to the pinned CPU's stats (CPU 0 shares the kernel stats
+        # object).
+        self._counts = self.cpu.stats.counts_view()
         #: Reused container for fast-path results: the hot path rebinds
         #: ``.result`` instead of allocating.  Borrowed until the next
         #: fast-path touch — callers that keep results across touches get
@@ -274,10 +340,121 @@ class Machine:
             raise TypeError(f"not a trace op: {op!r}")
 
     def run(self, trace: Iterable[TraceOp]) -> Stats:
-        """Replay a trace; returns the stats accumulated by the run."""
+        """Replay a trace; returns the stats accumulated by the run.
+
+        List (and tuple) traces replay through the fused-run engine when
+        ``fuse_runs`` is on: chunks whose references are all memoized
+        pure hits execute as single :class:`FusedRun` steps; everything
+        else — generator traces, recording runs, chunks with switches,
+        cold keys, stale guards — takes the per-op loop, whose counters
+        are byte-identical.
+        """
         if self.kernel.current_cpu != self._cpu_id:
             self.kernel.set_current_cpu(self._cpu_id)
         before = self.stats.snapshot()
+        if (
+            self.fuse_runs
+            and self.fast_path
+            and self._trace_log is None
+            and trace.__class__ in (list, tuple)
+        ):
+            self._run_fused(trace)
+        else:
+            self._run_ops(trace)
+        return self.stats.delta(before)
+
+    def _run_fused(self, ops: Sequence[TraceOp]) -> None:
+        """Chunked fused replay of a sized trace (see :meth:`run`).
+
+        Each chunk is compiled at most once: a later pass over the same
+        trace finds the :class:`FusedRun` in the run cache, revalidates
+        it (value-equal chunk, same epoch, live guards) and replays it as
+        a single step.  The compile-side scan stays in C: an all-``Ref``
+        type check, three ``attrgetter`` passes zipped into memo keys, a
+        ``Counter`` for occurrence totals, a keys-view subset test
+        against the memo, and ``dict.fromkeys`` over the reversed keys
+        for last-occurrence order.  Only the compile of the (few,
+        distinct) keys runs per-key Python, amortized over the chunk —
+        and paid once per chunk per epoch, not once per pass.
+        """
+        kernel = self.kernel
+        memo = self._memo
+        fcache = self._fused_cache
+        counts_store = self._counts
+        shift = self._line_shift
+        chunk_size = self.FUSE_CHUNK
+        trace_id = id(ops)
+        n = len(ops)
+        i = 0
+        in_run = False
+        while i < n:
+            off = i
+            chunk = ops if (i == 0 and n <= chunk_size) else ops[i : i + chunk_size]
+            i += len(chunk)
+            epoch = kernel.mutation_epoch
+            if epoch != self._memo_epoch:
+                memo.clear()
+                self._seen.clear()
+                self._memo_epoch = epoch
+            if epoch != self._fused_epoch:
+                fcache.clear()
+                self._fused_epoch = epoch
+            cached = fcache.get((trace_id, off))
+            if cached is not None:
+                stored_chunk, fused = cached
+                # Value comparison, not trust in the id: identical
+                # element objects short-circuit in C, and distinct but
+                # equal Refs replay identically anyway.
+                if chunk == stored_chunk and fused.apply():
+                    for name, amount in fused.counts.items():
+                        counts_store[name] += amount
+                    self.fused_refs += fused.length
+                    if not in_run:
+                        self.fused_runs += 1
+                        in_run = True
+                    continue
+                del fcache[(trace_id, off)]
+            if memo and set(map(type, chunk)) == _ONLY_REFS:
+                keys = list(
+                    zip(
+                        map(_GET_PD, chunk),
+                        map(rshift, map(_GET_VADDR, chunk), repeat(shift)),
+                        map(_GET_ACCESS, chunk),
+                    )
+                )
+                run_counts = Counter(keys)
+                if run_counts.keys() <= memo.keys():
+                    order = list(dict.fromkeys(reversed(keys)))
+                    order.reverse()
+                    fused = FusedRun(
+                        [(memo[key], run_counts[key]) for key in order], len(chunk)
+                    )
+                    if fused.apply():
+                        # A chunk aliasing the caller's own list is
+                        # copied before caching, so in-place mutation of
+                        # the trace can't satisfy the equality check
+                        # against itself.
+                        if len(fcache) >= self.FUSED_CACHE_CAPACITY:
+                            fcache.clear()
+                        fcache[(trace_id, off)] = (
+                            list(chunk) if chunk is ops else chunk,
+                            fused,
+                        )
+                        for name, amount in fused.counts.items():
+                            counts_store[name] += amount
+                        self.fused_refs += fused.length
+                        if not in_run:
+                            self.fused_runs += 1
+                            in_run = True
+                        continue
+            # Anything non-fusable — a switch, a cold or faulting key, a
+            # stale guard — replays this chunk per-op, warming the memo
+            # for the chunks behind it.
+            in_run = False
+            self._run_ops(chunk)
+
+    def _run_ops(self, trace: Iterable[TraceOp]) -> None:
+        """Per-op replay loop (the fused engine's fallback)."""
         domains = self.kernel.domains
         touch = self.touch
         switch_to = self.kernel.switch_to
@@ -302,7 +479,6 @@ class Machine:
                 switch_to(domains[op.pd_id])
             else:
                 raise TypeError(f"not a trace op: {op!r}")
-        return self.stats.delta(before)
 
     def run_sharded(
         self,

@@ -48,6 +48,18 @@ class Stats:
 
         return inc
 
+    def counts_view(self) -> Counter[str]:
+        """The live counter store itself, for trusted bulk merges.
+
+        The replay hot paths (recipe and fused-run, see
+        :mod:`repro.sim.machine`) bind this once and merge precomputed
+        batches with an inline loop, skipping even the :meth:`inc_many`
+        call per event.  The returned object is *the* store, not a copy:
+        it stays valid across :meth:`clear` (the store is emptied, never
+        replaced), and callers must only ever add to it.
+        """
+        return self._counts
+
     def inc_many(self, counts: Mapping[str, int]) -> None:
         """Merge a batch of counter increments in one call.
 

@@ -70,7 +70,8 @@ class TestBenchReportOut:
         summary = data["reports"][0]["summary"]
         assert summary["refs"] == 2000
         assert summary["refs_per_sec_full"] > 0
-        assert summary["refs_per_sec_fast"] > 0
+        assert summary["refs_per_sec_recipe"] > 0
+        assert summary["refs_per_sec_fused"] > 0
         assert summary["stats_identical"] is True
         # The counters themselves ride along for regression tooling.
         assert data["reports"][0]["counters"]["refs"] == 2000

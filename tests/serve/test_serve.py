@@ -116,6 +116,50 @@ class TestChaos:
         assert result.summaries["plb"]["faults"]["injected"] == 0
 
 
+class TestTelemetryRegressions:
+    """Pins for the two PR-7 telemetry fixes.
+
+    * The collector's watched-counter baseline is seeded from the
+      post-construction kernel stats, so setup-time movement never
+      surfaces as phantom first-poll events.
+    * The post-arrival tail of the event loop keeps *both* timers
+      firing to the end of the run, so the scrubber holds its
+      ``scrub_every_ms`` cadence even when arrivals end early.
+    """
+
+    def test_chaos_free_first_snapshot_has_no_events(self):
+        # No fault plan, one CPU: nothing in the run can legitimately
+        # produce an event, so every snapshot's event stream — the
+        # first one especially, which pre-fix carried phantom events
+        # for setup-time counter movement — must be empty.
+        stream, result = _run(plan=None)
+        snaps = [json.loads(line) for line in stream.splitlines()]
+        assert snaps
+        assert snaps[0]["events"] == []
+        assert all(snap["events"] == [] for snap in snaps)
+        assert result.summaries["plb"]["faults"]["injected"] == 0
+
+    def test_scrub_cadence_held_when_arrivals_end_early(self):
+        # Seed 16 at 10 rps puts the last arrival at ~97 ms of a
+        # 300 ms run.  The scrubber must keep its 50 ms cadence
+        # through the arrival-free tail: exactly 300 // 50 = 6 runs
+        # (chaos-free, so no retry scrubs muddy the count).  Pre-fix
+        # the tail fired snapshots only plus one drain scrub,
+        # yielding 2.
+        stream, result = _run(
+            duration_ms=300, seed=16, plan=None, rates={"rpc": 10.0}
+        )
+        assert result.stats["plb"]["scrub.runs"] == 6
+        final = json.loads(stream.splitlines()[-1])
+        assert final["faults"]["scrub_runs"] == 6
+
+    def test_off_cadence_duration_gets_final_drain_scrub(self):
+        # 130 ms is not a multiple of the 50 ms cadence: ticks land at
+        # 50 and 100 ms, and the end-of-run drain adds one more.
+        _, result = _run(duration_ms=130, plan=None, rates={"rpc": 10.0})
+        assert result.stats["plb"]["scrub.runs"] == 3
+
+
 class TestExporters:
     def test_prometheus_rendering_covers_the_families(self):
         _, result = _run()

@@ -115,6 +115,112 @@ class TestVerbMatrix:
         assert env.kernel.mutation_epoch > before
 
 
+class TestFusedRunSplits:
+    """Every invalidation channel must split a fused run.
+
+    The fused-run engine (ARCHITECTURE.md §9) replays whole chunks of
+    memoized hits under a single epoch check, so its correctness leans
+    on the same invariant as the recipe memo — but through a separate
+    cache with its own epoch tracking.  This matrix re-enumerates every
+    kernel verb (and the remote-shootdown delivery path) against a
+    machine with a hot, fully-fused 512-ref trace: after the verb, the
+    next replay must fall back to the per-op loop (``fused_refs`` does
+    not grow).  A control case pins the opposite: with no verb, the
+    same replay keeps fusing.
+    """
+
+    TRACE_LEN = 512  # < Machine.FUSE_CHUNK, so the trace is one chunk
+
+    def _hot_machine(self, env, cpu=None):
+        from repro.core.rights import AccessType
+        from repro.sim.machine import Machine
+        from repro.sim.trace import Ref
+
+        machine = Machine(env.kernel, cpu=cpu)
+        params = env.kernel.params
+        base = params.vaddr(env.seg.base_vpn)
+        line = params.cache_line_bytes
+        trace = [
+            Ref(env.d1.pd_id, base + (i % 64) * line, AccessType.READ)
+            for i in range(self.TRACE_LEN)
+        ]
+        # Pass 1 warms caches (misses), 2 seeds ``_seen``, 3 records the
+        # recipes, 4 compiles and applies the fused run.
+        for _ in range(4):
+            machine.run(trace)
+        assert machine.fused_refs > 0, "hot trace never fused"
+        return machine, trace
+
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("verb", sorted(VERB_CASES))
+    def test_verb_splits_fused_run(self, model, verb):
+        env = Env(model)
+        call = VERB_CASES[verb](env)  # builder traps run before warming
+        machine, trace = self._hot_machine(env)
+        before = machine.fused_refs
+        call()
+        machine.run(trace)
+        assert machine.fused_refs == before
+
+    @pytest.mark.parametrize("verb", sorted(GROUP_CASES))
+    def test_group_verb_splits_fused_run(self, verb):
+        env = Env("pagegroup")
+        call = GROUP_CASES[verb](env)
+        machine, trace = self._hot_machine(env)
+        before = machine.fused_refs
+        call()
+        machine.run(trace)
+        assert machine.fused_refs == before
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_hot_replay_keeps_fusing_without_a_verb(self, model):
+        """Control: no kernel entry, the next replay fuses end to end."""
+        env = Env(model)
+        machine, trace = self._hot_machine(env)
+        before = machine.fused_refs
+        machine.run(trace)
+        assert machine.fused_refs == before + self.TRACE_LEN
+
+    @staticmethod
+    def _smp_env(model):
+        """A two-CPU kernel with one domain on a populated segment."""
+        from types import SimpleNamespace
+
+        kernel = Kernel(model, n_frames=64, n_cpus=2)
+        d1 = kernel.create_domain("d1")
+        seg = kernel.create_segment("seg", 4, populate=True)
+        kernel.attach(d1, seg, Rights.RW)
+        return SimpleNamespace(kernel=kernel, d1=d1, seg=seg)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_remote_verb_shootdown_splits_fused_run(self, model):
+        """A verb on CPU 0 reaches CPU 1's fused runs over the bus.
+
+        ``unmap_page`` broadcasts a *translation* shootdown on every
+        model (rights-only verbs may legitimately skip the bus — e.g.
+        the page-group model propagates rights through the group
+        table), so it must kill the remote CPU's fused cache."""
+        env = self._smp_env(model)
+        machine, trace = self._hot_machine(env, cpu=env.kernel.cpus[1])
+        before = machine.fused_refs
+        env.kernel.set_current_cpu(0)
+        env.kernel.unmap_page(env.seg.base_vpn)
+        machine.run(trace)
+        assert machine.fused_refs == before
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_direct_remote_bump_splits_fused_run(self, model):
+        """``bump_epoch_for_cpu`` (the shootdown delivery primitive)
+        invalidates the target CPU's fused cache even when the verb's
+        own broadcast filtering would have skipped it."""
+        env = self._smp_env(model)
+        machine, trace = self._hot_machine(env, cpu=env.kernel.cpus[1])
+        before = machine.fused_refs
+        env.kernel.bump_epoch_for_cpu(1)
+        machine.run(trace)
+        assert machine.fused_refs == before
+
+
 class TestFaultSites:
     def test_injector_record_bumps_epoch(self):
         kernel = Kernel("plb")

@@ -13,7 +13,14 @@ from pathlib import Path
 TOOLS = Path(__file__).resolve().parents[2] / "tools"
 sys.path.insert(0, str(TOOLS))
 
-from check_bench_regression import THRESHOLD, check, main  # noqa: E402
+from check_bench_regression import (  # noqa: E402
+    THRESHOLD,
+    THROUGHPUT_FUSED_FLOOR,
+    THROUGHPUT_THRESHOLD,
+    check,
+    check_throughput,
+    main,
+)
 
 
 BASELINE = {
@@ -105,6 +112,77 @@ def test_malformed_entries_do_not_mask_other_cells():
     assert len(failures) == 2
     assert any("gc" in line and "malformed" in line for line in failures)
     assert any("attach / plb" in line and "+100.0%" in line for line in failures)
+
+
+def _tp_cell(recipe=3.0, fused=40.0, ratio=12.0):
+    return {
+        "recipe_speedup": recipe,
+        "fused_speedup": fused,
+        "fused_vs_recipe": ratio,
+        "full_refs_per_sec": 100_000,
+        "recipe_refs_per_sec": 300_000,
+        "fused_refs_per_sec": 4_000_000,
+    }
+
+
+TP_BASELINE = {"plb": _tp_cell(), "conventional": _tp_cell(recipe=4.0, fused=60.0)}
+
+
+class TestCheckThroughput:
+    def test_within_threshold_passes(self):
+        current = {
+            "plb": _tp_cell(recipe=3.0 * (1 - THROUGHPUT_THRESHOLD), fused=40.0),
+            "conventional": _tp_cell(recipe=4.0, fused=60.0),
+        }
+        assert check_throughput(current, TP_BASELINE) == []
+
+    def test_recipe_speedup_drop_fails_by_name(self):
+        current = {"plb": _tp_cell(recipe=1.0), "conventional": _tp_cell(4.0, 60.0)}
+        failures = check_throughput(current, TP_BASELINE)
+        assert len(failures) == 1
+        assert "plb" in failures[0] and "recipe_speedup" in failures[0]
+
+    def test_fused_speedup_drop_fails_independently(self):
+        # The recipe rung can look healthy while the fused rung regresses.
+        current = {"plb": _tp_cell(fused=10.0), "conventional": _tp_cell(4.0, 60.0)}
+        failures = check_throughput(current, TP_BASELINE)
+        assert len(failures) == 1
+        assert "fused_speedup" in failures[0]
+
+    def test_fused_vs_recipe_floor_is_absolute(self):
+        # Even a freshly refreshed baseline cannot excuse fused replay
+        # falling under the floor vs the recipe path.
+        weak = _tp_cell(ratio=THROUGHPUT_FUSED_FLOOR - 1)
+        failures = check_throughput(
+            {"plb": weak, "conventional": _tp_cell(4.0, 60.0)},
+            {"plb": weak, "conventional": _tp_cell(4.0, 60.0)},
+        )
+        assert len(failures) == 1
+        assert "floor" in failures[0]
+
+    def test_missing_model_ratio_fails(self):
+        current = {"conventional": _tp_cell(4.0, 60.0)}
+        failures = check_throughput(current, TP_BASELINE)
+        assert len(failures) == 2
+        assert all("plb" in line and "missing" in line for line in failures)
+
+    def test_malformed_ratio_cell_is_a_named_failure(self):
+        baseline = {"plb": {"recipe_speedup": None, "fused_speedup": 40.0}}
+        failures = check_throughput({"plb": _tp_cell()}, baseline)
+        assert len(failures) == 1
+        assert "malformed" in failures[0] and "recipe_speedup" in failures[0]
+
+    def test_non_dict_cell_is_a_named_failure(self):
+        failures = check_throughput({"plb": _tp_cell()}, {"plb": 3.0})
+        assert len(failures) == 1
+        assert "malformed" in failures[0]
+
+    def test_improvement_never_fails(self):
+        current = {
+            "plb": _tp_cell(recipe=30.0, fused=400.0, ratio=100.0),
+            "conventional": _tp_cell(recipe=40.0, fused=600.0, ratio=100.0),
+        }
+        assert check_throughput(current, TP_BASELINE) == []
 
 
 def test_main_missing_baseline_exits_2(tmp_path, capsys):
