@@ -105,6 +105,29 @@ def format_slo_summary(summaries: Mapping[str, Mapping[str, Any]]) -> str:
                     title=f"[{model}] recovery time under fault (virtual us)",
                 )
             )
+        # Cluster serve only: the protocol's own declare-dead episode
+        # timings (interconnect clock), the honest recovery numbers —
+        # poll pairing above reads ~0 because cluster recovery runs
+        # synchronously inside the failing request.
+        cluster = summary.get("cluster_recovery")
+        if cluster and cluster["episodes"]:
+            blocks.append(
+                format_table(
+                    ["episodes", "p50", "p99", "max", "p50 us", "p99 us"],
+                    [
+                        [
+                            cluster["episodes"],
+                            cluster["cycles"]["p50"],
+                            cluster["cycles"]["p99"],
+                            cluster["cycles"]["max"],
+                            cluster["us"]["p50"],
+                            cluster["us"]["p99"],
+                        ]
+                    ],
+                    title=f"[{model}] cluster recovery episodes "
+                    "(interconnect cycles)",
+                )
+            )
 
     return "\n\n".join(blocks)
 

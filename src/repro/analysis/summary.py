@@ -77,6 +77,10 @@ RECOVERY_COUNTERS = (
     "faults.recovered",
     "disk.retries",
     "scrub.repairs",
+    "cluster.msg.sent",
+    "cluster.retries",
+    "cluster.handoffs",
+    "cluster.reconcile.repairs",
 )
 
 

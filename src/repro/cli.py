@@ -38,7 +38,15 @@
   txn/gc/rpc/checkpoint requests against long-lived kernels, continuous
   chaos (``--plan``) and a background scrubber run alongside, and live
   SLO telemetry streams out as JSONL snapshots, Prometheus text, and a
-  final per-model SLO summary; exit 1 on unrecovered divergence.
+  final per-model SLO summary; exit 1 on unrecovered divergence.  With
+  ``--cluster-nodes N`` the served system is a fault-tolerant N-node
+  DSM cluster and the fault plan strikes the interconnect instead.
+* ``cluster`` — fault-tolerant cluster DSM chaos: by default sweep one
+  fault (node crash / link partition) through *every* interconnect
+  message index on every model and demand convergence to the gold
+  oracle or an explicit ``unrecoverable`` verdict; with ``--plan`` run
+  a single audited case under that plan.  Exit 1 (with a replayable
+  JSON dump) only on silent divergence.
 """
 
 from __future__ import annotations
@@ -302,8 +310,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run structural invariant checks every N ops (0 disables)",
     )
 
+    from repro.faults.plan import preset_catalog
+
     chaos = sub.add_parser(
-        "chaos", help="run a check scenario under fault injection"
+        "chaos", help="run a check scenario under fault injection",
+        epilog=preset_catalog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     chaos.add_argument(
         "scenario",
@@ -385,6 +397,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve",
         help="open-loop virtual-time server with live SLO telemetry",
+        epilog=preset_catalog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     serve.add_argument(
         "--duration", type=int, default=1000, metavar="MS",
@@ -428,6 +442,18 @@ def build_parser() -> argparse.ArgumentParser:
         "service time and therefore queueing under load (default 200)",
     )
     serve.add_argument(
+        "--cluster-nodes", type=int, default=0, metavar="N",
+        help="serve a fault-tolerant N-node DSM cluster (one address "
+        "space across machines) instead of a single kernel; the fault "
+        "plan then strikes the interconnect, and the summary gains "
+        "measured recovery-time percentiles (0 disables; minimum 2)",
+    )
+    serve.add_argument(
+        "--cluster-pages", type=int, default=8, metavar="P",
+        help="shared pages in the cluster's DSM segment (default 8; "
+        "cluster mode only)",
+    )
+    serve.add_argument(
         "--jsonl-out", default=None, metavar="PATH",
         help="stream one JSON object per SLO snapshot to this file",
     )
@@ -438,6 +464,60 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--report-out", default=None, metavar="PATH",
         help="write the final per-model SLO RunReports as JSON",
+    )
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="cluster DSM chaos: a fault at every protocol step, or one "
+        "audited case under --plan",
+        epilog=preset_catalog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    cluster.add_argument(
+        "--models", type=_parse_models, default=MODELS,
+        help="comma-separated subset of: " + ",".join(MODELS),
+    )
+    cluster.add_argument(
+        "--nodes", type=int, default=3, metavar="N",
+        help="cluster members, each a full kernel (default 3, minimum 2)",
+    )
+    cluster.add_argument(
+        "--pages", type=int, default=4,
+        help="shared pages in the one-address-space segment (default 4)",
+    )
+    cluster.add_argument(
+        "--accesses", type=int, default=32,
+        help="scripted page accesses spread across the nodes (default 32)",
+    )
+    cluster.add_argument(
+        "--seed", default="7",
+        help="single seed ('7') or inclusive range ('0..3')",
+    )
+    cluster.add_argument(
+        "--cpus", type=int, default=1, metavar="K",
+        help="simulated CPUs per node kernel (default 1)",
+    )
+    cluster.add_argument(
+        "--chaos", choices=("none", "crash", "partition", "both"),
+        default="both",
+        help="sweep fault kinds: node crashes, link partitions, both "
+        "(default), or none (fault-free convergence check only)",
+    )
+    cluster.add_argument(
+        "--stride", type=int, default=1, metavar="S",
+        help="inject at every S-th message index instead of every one "
+        "(smoke-test thinning; default 1 = exhaustive)",
+    )
+    cluster.add_argument(
+        "--max-steps", type=int, default=None, metavar="M",
+        help="cap the swept step set at M evenly spaced indices "
+        "(always keeps the first and last)",
+    )
+    cluster.add_argument(
+        "--plan", default=None,
+        help="run one audited case under this fault plan instead of "
+        "sweeping (a preset name, 'none', or a JSON file — a plan dict "
+        "or a cluster repro dump)",
     )
     return parser
 
@@ -656,13 +736,28 @@ def cmd_bench(
     return table
 
 
-def _parse_rates(text: str | None) -> dict[str, float]:
-    """Parse ``--rates txn=60,gc=20`` into per-class arrivals/sec."""
+def _parse_rates(
+    text: str | None, *, cluster: bool = False
+) -> dict[str, float]:
+    """Parse ``--rates txn=60,gc=20`` into per-class arrivals/sec.
+
+    Cluster serve has a single workload class (``cluster``: one request
+    = a burst of shared-page accesses across live nodes), so in cluster
+    mode only that class is accepted and it is the default.
+    """
     from repro.serve.driver import DEFAULT_RATES
     from repro.workloads.openloop import SOURCE_CLASSES
 
+    if cluster:
+        from repro.cluster.serve import CLUSTER_RATE_PER_SEC
+
+        classes = {"cluster"}
+        defaults = {"cluster": CLUSTER_RATE_PER_SEC}
+    else:
+        classes = set(SOURCE_CLASSES)
+        defaults = dict(DEFAULT_RATES)
     if text is None:
-        return dict(DEFAULT_RATES)
+        return defaults
     rates: dict[str, float] = {}
     for item in text.split(","):
         item = item.strip()
@@ -670,10 +765,10 @@ def _parse_rates(text: str | None) -> dict[str, float]:
             continue
         name, _, value = item.partition("=")
         name = name.strip()
-        if name not in SOURCE_CLASSES:
+        if name not in classes:
             raise CLIError(
                 f"unknown workload class {name!r}; choose from: "
-                + ", ".join(sorted(SOURCE_CLASSES))
+                + ", ".join(sorted(classes))
             )
         try:
             rate = float(value)
@@ -708,16 +803,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"unknown fault preset {plan!r}; choose from: "
             + ", ".join(sorted(PRESETS))
         )
+    if args.cluster_nodes and args.cluster_nodes < 2:
+        raise CLIError(
+            "--cluster-nodes must be >= 2 (or 0 for single-kernel serve)"
+        )
+    if args.cluster_pages < 1:
+        raise CLIError("--cluster-pages must be >= 1")
     config = ServeConfig(
         duration_ms=args.duration,
         seed=args.seed,
         models=tuple(args.models),
         cpus=args.cpus,
         plan=plan,
-        rates=_parse_rates(args.rates),
+        rates=_parse_rates(args.rates, cluster=args.cluster_nodes > 0),
         snapshot_every_ms=args.snapshot_every,
         scrub_every_ms=args.scrub_every_ms,
         cycles_per_us=args.cycles_per_us,
+        cluster_nodes=args.cluster_nodes,
+        cluster_pages=args.cluster_pages,
     )
     jsonl_fp = open(args.jsonl_out, "w") if args.jsonl_out else None
     try:
@@ -1110,6 +1213,161 @@ def cmd_smp(
     return 0
 
 
+#: The counters a cluster case's status line leads with (nonzero only).
+_CLUSTER_LINE_COUNTERS = (
+    "cluster.msg.sent",
+    "cluster.retries",
+    "cluster.handoffs",
+    "cluster.node_deaths",
+    "cluster.rejoins",
+    "faults.injected",
+    "faults.recovered",
+)
+
+
+def _recovery_percentiles(cycles: Sequence[int]) -> str | None:
+    """``p50/p99/max`` of declare-dead recovery times, in cycles."""
+    if not cycles:
+        return None
+    ordered = sorted(cycles)
+
+    def pct(q: float) -> int:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return (
+        f"{len(ordered)} episodes, cycles p50={pct(0.50)} "
+        f"p99={pct(0.99)} max={ordered[-1]}"
+    )
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Cluster DSM chaos: full sweep, or one audited case under --plan."""
+    import json
+
+    from repro.cluster.chaos import run_cluster_case, run_cluster_sweep
+    from repro.faults import FaultPlan
+
+    # A scripted access averages two-to-three interconnect messages;
+    # size generated preset plans so their event indices land inside
+    # the actual message stream instead of past its end.
+    messages_per_access = 2
+
+    _validate_parallelism(cpus=args.cpus)
+    if args.nodes < 2:
+        raise CLIError("--nodes must be >= 2")
+    if args.pages < 1 or args.accesses < 1:
+        raise CLIError("--pages and --accesses must be >= 1")
+    if args.stride < 1:
+        raise CLIError("--stride must be >= 1")
+    if args.max_steps is not None and args.max_steps < 2:
+        raise CLIError("--max-steps must be >= 2 (keeps first and last)")
+    seeds = _parse_seeds(args.seed)
+
+    if args.plan is not None:
+        plan_spec = _parse_plan(args.plan)
+        failed = 0
+        for model in args.models:
+            for seed in seeds:
+                if isinstance(plan_spec, str):
+                    plan = FaultPlan.generate(
+                        plan_spec, seed,
+                        n_ops=args.accesses * messages_per_access,
+                    )
+                else:
+                    plan = plan_spec
+                case = run_cluster_case(
+                    model, seed, nodes=args.nodes, pages=args.pages,
+                    accesses=args.accesses, plan=plan, n_cpus=args.cpus,
+                )
+                counters = ", ".join(
+                    f"{name}={count}"
+                    for name, count in sorted(case.counters.items())
+                    if name in _CLUSTER_LINE_COUNTERS and count
+                )
+                status = case.verdict.upper() if not case.ok else case.verdict
+                print(
+                    f"cluster case model={model} seed={seed} "
+                    f"plan={args.plan}: {status}"
+                    + (f" — {case.detail}" if case.detail else "")
+                    + (f" ({counters})" if counters else "")
+                )
+                recovery = _recovery_percentiles(case.recovery_cycles)
+                if recovery:
+                    print(f"  recovery: {recovery}")
+                if not case.ok:
+                    failed += 1
+                    print("replayable repro dump:")
+                    print(json.dumps(case.dump(), indent=2))
+        if failed:
+            print(f"{failed} cluster case(s) diverged", file=sys.stderr)
+            return 1
+        return 0
+
+    kinds = {
+        "crash": ("node_crash",),
+        "partition": ("partition",),
+        "both": ("node_crash", "partition"),
+        "none": (),
+    }[args.chaos]
+    failed = 0
+    for seed in seeds:
+        if not kinds:
+            # Fault-free convergence check only.
+            for model in args.models:
+                case = run_cluster_case(
+                    model, seed, nodes=args.nodes, pages=args.pages,
+                    accesses=args.accesses, n_cpus=args.cpus,
+                )
+                print(
+                    f"cluster baseline model={model} seed={seed}: "
+                    f"{case.verdict} ({case.messages} messages)"
+                )
+                if not case.ok:
+                    failed += 1
+                    print("replayable repro dump:")
+                    print(json.dumps(case.dump(), indent=2))
+            continue
+        sweep = run_cluster_sweep(
+            tuple(args.models), seed=seed, nodes=args.nodes,
+            pages=args.pages, accesses=args.accesses, kinds=kinds,
+            stride=args.stride, max_steps=args.max_steps, n_cpus=args.cpus,
+        )
+        baseline = " ".join(
+            f"{model}={count}"
+            for model, count in sorted(sweep.baseline_messages.items())
+        )
+        print(
+            f"cluster sweep seed={seed} kinds={','.join(kinds)} "
+            f"models={','.join(args.models)}:"
+        )
+        print(f"  baseline messages: {baseline or '(baseline diverged)'}")
+        print(
+            f"  cases={sweep.cases} converged={sweep.converged} "
+            f"unrecoverable={sweep.unrecoverable} "
+            f"diverged={len(sweep.diverged)}"
+        )
+        for model in sorted(sweep.recovery_cycles):
+            recovery = _recovery_percentiles(sweep.recovery_cycles[model])
+            print(f"  recovery {model}: {recovery}")
+        for case in sweep.unrecoverable_cases:
+            plan_name = case.plan.name if case.plan is not None else "none"
+            print(
+                f"  unrecoverable (explicit): model={case.model} "
+                f"plan={plan_name} — {case.detail}"
+            )
+        if not sweep.ok:
+            failed += len(sweep.diverged)
+            print("replayable repro dumps (silent divergence):")
+            for case in sweep.diverged[:3]:
+                print(json.dumps(case.dump(), indent=2))
+            if len(sweep.diverged) > 3:
+                print(f"  ... and {len(sweep.diverged) - 3} more")
+    if failed:
+        print(f"{failed} cluster case(s) diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_crash_recover(models: Sequence[str]) -> int:
     import json
 
@@ -1197,6 +1455,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
     elif args.command == "serve":
         return cmd_serve(args)
+    elif args.command == "cluster":
+        return cmd_cluster(args)
     return 0
 
 

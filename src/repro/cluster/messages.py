@@ -1,0 +1,117 @@
+"""Serializable protocol messages for the cluster DSM interconnect.
+
+Every inter-node interaction in :mod:`repro.cluster` is an explicit
+:class:`Message` crossing the :class:`~repro.cluster.interconnect.
+Interconnect` — never a direct method call between node objects.  That
+is what makes the interconnect a *fault surface*: a message the fault
+plan drops, duplicates, delays or strands behind a partition is a real
+protocol message, and every robustness mechanism (retry, failure
+detection, handoff) is exercised against the same vocabulary it ships.
+
+The vocabulary (request -> reply):
+
+* ``fetch`` -> ``fetch_reply`` — move a valid page image to the caller.
+* ``demote`` -> ``demote_ack`` — freeze an exclusive owner to a shared
+  read-only copy; the ack carries the owner's current image so the
+  home store can be synced (write-back on demotion).
+* ``invalidate`` -> ``invalidate_ack`` — Table 1 "Invalidate" remotely.
+* ``writeback`` -> ``writeback_ack`` — periodic durability flush of an
+  exclusive page to the home store (lease renewal piggybacks on it).
+* ``heartbeat`` -> ``heartbeat_ack`` — the failure detector's pulse.
+* ``probe`` -> ``probe_ack`` — a witness liveness check during suspect
+  resolution (distinguishes a dead node from a cut link).
+* ``dir_sync`` -> ``dir_sync_ack`` — directory re-replication after a
+  membership change or to a rejoining node.
+* ``relay`` — carries another message through a third node when the
+  direct link is partitioned; the inner message's reply bubbles back.
+
+Messages serialize to plain dicts (page payloads as hex) so a chaos
+repro dump can carry the exact traffic a failing run saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+#: Every kind a message may carry, requests and replies both.
+MESSAGE_KINDS = (
+    "fetch",
+    "fetch_reply",
+    "demote",
+    "demote_ack",
+    "invalidate",
+    "invalidate_ack",
+    "writeback",
+    "writeback_ack",
+    "heartbeat",
+    "heartbeat_ack",
+    "probe",
+    "probe_ack",
+    "dir_sync",
+    "dir_sync_ack",
+    "relay",
+)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message on the interconnect.
+
+    Attributes:
+        kind: One of :data:`MESSAGE_KINDS`.
+        src: Sending node id.
+        dst: Destination node id.
+        vpn: The shared page the message concerns, when any.
+        ok: Reply status — False is a NAK (e.g. a fetch target without
+            a valid copy).
+        payload: Page image bytes, for data-bearing kinds.
+        inner: The carried message, for ``relay`` only.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    vpn: int | None = None
+    ok: bool = True
+    payload: bytes | None = field(default=None, repr=False)
+    inner: "Message | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_KINDS:
+            raise ValueError(f"unknown message kind {self.kind!r}")
+        if self.src == self.dst:
+            raise ValueError(f"message to self (node {self.src})")
+        if self.kind == "relay" and self.inner is None:
+            raise ValueError("relay message carries no inner message")
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "kind": self.kind,
+            "src": self.src,
+            "dst": self.dst,
+            "vpn": self.vpn,
+            "ok": self.ok,
+            "payload": self.payload.hex() if self.payload is not None else None,
+        }
+        if self.inner is not None:
+            data["inner"] = self.inner.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Message":
+        payload = data.get("payload")
+        inner = data.get("inner")
+        return cls(
+            kind=data["kind"],
+            src=data["src"],
+            dst=data["dst"],
+            vpn=data.get("vpn"),
+            ok=data.get("ok", True),
+            payload=bytes.fromhex(payload) if payload is not None else None,
+            inner=cls.from_dict(inner) if inner is not None else None,
+        )
+
+    def hop(self, via: int) -> "Message":
+        """This message re-sent from a relay node (reply routes back)."""
+        return replace(self, src=via)

@@ -1,0 +1,81 @@
+"""One cluster member: a full SASOS kernel behind a message handler.
+
+A :class:`ClusterNode` is a :class:`~repro.workloads.dsm.DSMNode` (full
+kernel + machine of the chosen protection model, shared segment at the
+agreed global address, optionally SMP via ``n_cpus``) extended with the
+cluster bookkeeping the resilient protocol needs: a protocol-level
+``alive`` flag (belief, not ground truth), page image access for
+fetch/writeback payloads, and the 8-byte big-endian *stamp* convention
+the chaos oracle reads back.
+"""
+
+from __future__ import annotations
+
+from repro.core.rights import Rights
+from repro.workloads.dsm import DSMNode
+
+#: Bytes at the head of each page that carry the oracle's write stamp.
+STAMP_BYTES = 8
+
+
+def stamp_page(page_size: int, stamp: int) -> bytes:
+    """A full page image carrying ``stamp`` in its head bytes."""
+    return stamp.to_bytes(STAMP_BYTES, "big") + bytes(page_size - STAMP_BYTES)
+
+
+class ClusterNode(DSMNode):
+    """A DSM node that can die, rejoin, and answer wire messages."""
+
+    def __init__(
+        self,
+        node_id: int,
+        model: str,
+        pages: int,
+        *,
+        populate: bool,
+        **kernel_options,
+    ) -> None:
+        super().__init__(node_id, model, pages, populate=populate, **kernel_options)
+        #: Protocol-level membership belief.  Flipped by the failure
+        #: detector (declare-dead) and by rejoin — never directly by
+        #: the fault injector, whose crashes land in the interconnect's
+        #: ground-truth ``crashed`` set and must be *detected*.
+        self.alive = True
+
+    # -------------------------------------------------------------- #
+    # Page images
+
+    def read_page(self, vpn: int) -> bytes | None:
+        """The local page image, or None without a resident frame.
+
+        A resident frame that was never written reads as a zero page —
+        that *is* its image (the same convention the in-process DSM
+        fetch uses), distinct from the no-frame None that NAKs a fetch.
+        """
+        pfn = self.kernel.translations.pfn_for(vpn)
+        if pfn is None:
+            return None
+        data = self.kernel.memory.read_page(pfn)
+        return data if data else bytes(self.kernel.params.page_size)
+
+    def write_page(self, vpn: int, data: bytes) -> None:
+        """Install a page image locally (populating a frame if needed)."""
+        self.ensure_resident(vpn)
+        pfn = self.kernel.translations.pfn_for(vpn)
+        self.kernel.memory.write_page(pfn, data)
+
+    def stamp(self, vpn: int) -> int | None:
+        """The oracle stamp in the local copy (None if not resident)."""
+        data = self.read_page(vpn)
+        if data is None:
+            return None
+        return int.from_bytes(data[:STAMP_BYTES], "big")
+
+    def local_rights(self, vpn: int) -> Rights:
+        """The model-authoritative local rights for one shared page."""
+        kernel = self.kernel
+        if kernel.model == "pagegroup":
+            rights = kernel.group_table.rights_of(vpn)
+            return rights if rights is not None else Rights.NONE
+        info = kernel.rights_for(self.domain.pd_id, vpn)
+        return info.rights if info is not None else Rights.NONE

@@ -226,6 +226,10 @@ class CycleCosts:
     disk_io: int = 100_000
     page_copy: int = 2_000
     compress_page: int = 8_000
+    #: One cluster interconnect message (send or reply); the wire and
+    #: timeout time itself is on the interconnect's virtual clock, this
+    #: prices the CPU-side marshalling/interrupt work per message.
+    network_msg: int = 2_000
 
     #: Counter-name suffix -> attribute name.  Any counter whose dotted
     #: name ends in a key is charged that weight.
@@ -256,6 +260,7 @@ class CycleCosts:
         "compress.page_out": "compress_page",
         "compress.page_in": "compress_page",
         "memory.page_write": "page_copy",
+        "cluster.msg.sent": "network_msg",
     }
 
     def weight_for(self, counter: str) -> int:

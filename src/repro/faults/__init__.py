@@ -18,14 +18,28 @@ free of cycles.
 """
 
 from repro.faults.errors import (
+    AddressSpaceError,
+    ClusterConfigError,
+    ClusterError,
+    ClusterTimeoutError,
+    ClusterUnavailableError,
     CorruptPageError,
     DiskError,
+    DSMProtocolError,
     HardwareFault,
     MachineCheck,
     MissingPageError,
+    NodeCrashedError,
     TransientDiskError,
 )
-from repro.faults.plan import PRESETS, FaultEvent, FaultInjector, FaultPlan
+from repro.faults.plan import (
+    PRESET_SUMMARIES,
+    PRESETS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    preset_catalog,
+)
 
 __all__ = [
     "HardwareFault",
@@ -34,8 +48,17 @@ __all__ = [
     "CorruptPageError",
     "MissingPageError",
     "MachineCheck",
+    "AddressSpaceError",
+    "ClusterError",
+    "ClusterConfigError",
+    "ClusterTimeoutError",
+    "ClusterUnavailableError",
+    "DSMProtocolError",
+    "NodeCrashedError",
     "FaultEvent",
     "FaultPlan",
     "FaultInjector",
     "PRESETS",
+    "PRESET_SUMMARIES",
+    "preset_catalog",
 ]

@@ -49,6 +49,55 @@ class MissingPageError(DiskError, KeyError):
         return Exception.__str__(self)
 
 
+class AddressSpaceError(RuntimeError):
+    """A mapping request conflicted with a process's address space.
+
+    Raised by the multi-AS foil (:mod:`repro.multias.osbase`).  Typed
+    here with the rest of the fault vocabulary; subclasses
+    ``RuntimeError`` for compatibility with the original contract.
+    """
+
+
+class ClusterError(HardwareFault):
+    """Base class for distributed-DSM protocol and interconnect faults."""
+
+
+class ClusterConfigError(ClusterError, ValueError):
+    """A cluster was constructed with an unusable topology.
+
+    Subclasses ``ValueError`` so callers (and tests) written against
+    the original ``DSMCluster`` contract keep working.
+    """
+
+
+class DSMProtocolError(ClusterError, KeyError):
+    """A coherence request named a page outside the shared directory.
+
+    Subclasses ``KeyError`` for compatibility with the seed contract
+    (an unknown vpn historically surfaced as a bare dict ``KeyError``).
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return Exception.__str__(self)
+
+
+class ClusterTimeoutError(ClusterError):
+    """A remote protocol message exhausted its retries without a reply."""
+
+
+class NodeCrashedError(ClusterError):
+    """The peer a message targeted has been declared dead.
+
+    Raised mid-operation after the failure detector confirms the peer;
+    by the time the caller sees it, ownership handoff has already run
+    and the directory no longer references the dead node.
+    """
+
+
+class ClusterUnavailableError(ClusterError):
+    """The cluster cannot make progress (no live nodes, split quorum)."""
+
+
 class MachineCheck(HardwareFault):
     """A protection structure detected (or was injected with) corruption.
 

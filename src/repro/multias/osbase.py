@@ -19,13 +19,12 @@ from dataclasses import dataclass, field
 
 from repro.core.params import MachineParams, DEFAULT_PARAMS
 from repro.core.rights import AccessType, Rights
+from repro.faults.errors import AddressSpaceError
 from repro.hardware.cache import CacheAccess, CacheOrg, DataCache
 from repro.hardware.memory import PhysicalMemory
 from repro.sim.stats import Stats
 
-
-class AddressSpaceError(RuntimeError):
-    """A mapping request conflicted with the process's address space."""
+__all__ = ["AddressSpaceError", "MultiASOS", "Process"]
 
 
 @dataclass

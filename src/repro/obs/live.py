@@ -212,6 +212,22 @@ WATCHED_COUNTERS = (
     "smp.shootdown.msgs",
     "smp.tlb_shootdown.msgs",
     "disk.retries",
+    "cluster.retries",
+    "cluster.handoffs",
+    "cluster.node_deaths",
+    "cluster.rejoins",
+    "cluster.reconcile.repairs",
+)
+
+#: The cluster slice of the watched set: the snapshot/summary block for
+#: these appears only when at least one is nonzero, so single-kernel
+#: serve output stays byte-identical to pre-cluster builds.
+CLUSTER_WATCHED = (
+    "cluster.retries",
+    "cluster.handoffs",
+    "cluster.node_deaths",
+    "cluster.rejoins",
+    "cluster.reconcile.repairs",
 )
 
 
@@ -348,6 +364,17 @@ class LiveCollector:
                     "count": deltas["disk.retries"],
                 }
             )
+        cluster_moves = {
+            name.split(".", 1)[1]: deltas[name]
+            for name in CLUSTER_WATCHED
+            if deltas.get(name)
+        }
+        if cluster_moves:
+            # One combined event per poll: retries/handoffs/rejoins and
+            # friends move together during a recovery episode.
+            self._events.append(
+                {"t_us": now_us, "event": "cluster", **cluster_moves}
+            )
 
     # -------------------------------------------------------------- #
     # Outputs
@@ -402,12 +429,24 @@ class LiveCollector:
             "recovery_time_us": self.recovery_sketch.as_dict(),
             "events": events,
         }
+        cluster = self._cluster_block()
+        if cluster:
+            snap["cluster"] = cluster
         return snap
+
+    def _cluster_block(self) -> dict[str, int]:
+        """Cumulative cluster recovery counters; {} on non-cluster runs
+        (the omit-when-zero contract keeps kernel-serve output stable)."""
+        return {
+            name.split(".", 1)[1]: self._watched[name]
+            for name in CLUSTER_WATCHED
+            if self._watched[name]
+        }
 
     def slo_summary(self, elapsed_us: int) -> dict[str, object]:
         """The end-of-run SLO view: cumulative, no window state."""
         elapsed_s = elapsed_us / 1_000_000 if elapsed_us else 0.0
-        return {
+        summary: dict[str, object] = {
             "model": self.model,
             "elapsed_us": elapsed_us,
             "requests": self.requests.total,
@@ -438,3 +477,7 @@ class LiveCollector:
             },
             "recovery_time_us": self.recovery_sketch.as_dict(),
         }
+        cluster = self._cluster_block()
+        if cluster:
+            summary["cluster"] = cluster
+        return summary

@@ -64,6 +64,13 @@ class ServeConfig:
     scrub_every_ms: int = 50
     #: Virtual CPU speed: simulated cycles consumed per virtual µs.
     cycles_per_us: int = 200
+    #: With > 0, serve a fault-tolerant DSM cluster of this many nodes
+    #: (one address space across machines) instead of a single kernel;
+    #: the fault plan then strikes the interconnect.  See
+    #: :mod:`repro.cluster.serve`.
+    cluster_nodes: int = 0
+    #: Shared pages per cluster (cluster mode only).
+    cluster_pages: int = 8
 
     @property
     def duration_us(self) -> int:
@@ -159,6 +166,10 @@ class ModelServer:
             self.unrecovered += 1
             return None
 
+    def current_counters(self) -> dict[str, int]:
+        """The merged counter view the driver polls between requests."""
+        return self.kernel.merged_stats().as_dict()
+
     def scrub_tick(self) -> None:
         if self.injector is not None:
             self.injector.flush_delayed()
@@ -189,7 +200,14 @@ def run_serve(
     prom = PrometheusExporter(prom_path) if prom_path is not None else None
 
     for model in config.models:
-        server = ModelServer(model, config)
+        if config.cluster_nodes > 0:
+            # Lazy import: repro.cluster pulls in the whole cluster
+            # stack, which non-cluster serve runs never need.
+            from repro.cluster.serve import ClusterServer
+
+            server = ClusterServer(model, config)
+        else:
+            server = ModelServer(model, config)
         collector = server.collector
         duration = config.duration_us
         snap_every = config.snapshot_every_ms * 1000
@@ -241,11 +259,15 @@ def run_serve(
             server.scrub_tick()
         # Drain counter movement from the final scrub into the event
         # stream, then close the run with a snapshot at the boundary.
-        collector.poll(duration, server.kernel.merged_stats().as_dict())
+        collector.poll(duration, server.current_counters())
         fire_snapshot(duration)
         server.finish()
 
-        result.summaries[model] = collector.slo_summary(duration)
+        summary = collector.slo_summary(duration)
+        extras = getattr(server, "summary_extras", None)
+        if extras is not None:
+            summary.update(extras())
+        result.summaries[model] = summary
         result.stats[model] = server.run_delta()
         result.unrecovered[model] = server.unrecovered
 

@@ -27,6 +27,11 @@ from dataclasses import dataclass, field
 
 from repro.core.mmu import PageFault, ProtectionFault
 from repro.core.rights import AccessType, Rights
+from repro.faults.errors import (
+    ClusterConfigError,
+    DSMProtocolError,
+    MissingPageError,
+)
 from repro.os.domain import ProtectionDomain
 from repro.os.kernel import Kernel
 from repro.os.segment import VirtualSegment
@@ -58,28 +63,40 @@ class PageDirectoryEntry:
 class DSMNode:
     """One machine in the distributed shared memory cluster."""
 
-    def __init__(self, node_id: int, model: str, pages: int, **kernel_options) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        model: str,
+        pages: int,
+        *,
+        populate: bool | None = None,
+        **kernel_options,
+    ) -> None:
         self.node_id = node_id
         self.kernel = Kernel(model, **kernel_options)
         self.machine = Machine(self.kernel)
         self.domain: ProtectionDomain = self.kernel.create_domain(f"app@{node_id}")
         # The shared segment sits at the agreed global address.  Only the
         # initial owner's pages get frames eagerly; other nodes populate
-        # on demand as copies arrive.
+        # on demand as copies arrive.  A rejoining cluster node passes
+        # ``populate=False`` explicitly: it boots with no valid copies
+        # regardless of its node id.
+        if populate is None:
+            populate = node_id == 0
         self.segment: VirtualSegment = self.kernel.create_segment(
             "shared",
             pages,
             base_vpn=SHARED_BASE_VPN,
-            populate=(node_id == 0),
+            populate=populate,
         )
         self.kernel.attach(
-            self.domain, self.segment, Rights.RW if node_id == 0 else Rights.NONE
+            self.domain, self.segment, Rights.RW if populate else Rights.NONE
         )
-        if node_id != 0 and self.kernel.model == "pagegroup":
+        if not populate and self.kernel.model == "pagegroup":
             # Non-owners hold the group so that TLB entries resolve, but
             # the per-page rights field starts at NONE below.
             self.kernel.set_segment_rights(self.domain, self.segment, Rights.RW)
-        if node_id != 0:
+        if not populate:
             for vpn in self.segment.vpns():
                 self._set_local_rights(vpn, Rights.NONE)
 
@@ -116,7 +133,7 @@ class DSMCluster:
         **kernel_options,
     ) -> None:
         if nodes < 2:
-            raise ValueError("a DSM cluster needs at least two nodes")
+            raise ClusterConfigError("a DSM cluster needs at least two nodes")
         self.model = model
         self.nodes = [DSMNode(i, model, pages, **kernel_options) for i in range(nodes)]
         self.pages = pages
@@ -162,9 +179,17 @@ class DSMCluster:
 
         return handle
 
+    def _entry(self, vpn: int) -> PageDirectoryEntry:
+        entry = self.directory.get(vpn)
+        if entry is None:
+            raise DSMProtocolError(
+                f"page {vpn:#x} is outside the shared directory"
+            )
+        return entry
+
     def get_readable(self, node: DSMNode, vpn: int) -> None:
         """Table 1 "Get Readable": fetch a copy, make it read-only."""
-        entry = self.directory[vpn]
+        entry = self._entry(vpn)
         self.stats.inc("dsm.get_readable")
         node.ensure_resident(vpn)
         if node.node_id not in self._valid[vpn]:
@@ -181,7 +206,7 @@ class DSMCluster:
 
     def get_writable(self, node: DSMNode, vpn: int) -> None:
         """Table 1 "Get Writable": exclusive copy, invalidate the rest."""
-        entry = self.directory[vpn]
+        entry = self._entry(vpn)
         self.stats.inc("dsm.get_writable")
         node.ensure_resident(vpn)
         if node.node_id not in self._valid[vpn]:
@@ -207,7 +232,10 @@ class DSMCluster:
             else None
         ) or bytes(node.kernel.params.page_size)
         dst_pfn = node.kernel.translations.pfn_for(vpn)
-        assert dst_pfn is not None
+        if dst_pfn is None:
+            raise MissingPageError(
+                f"node {node.node_id} has no frame for shared page {vpn:#x}"
+            )
         node.kernel.memory.write_page(dst_pfn, data)
         self._valid[vpn].add(node.node_id)
 

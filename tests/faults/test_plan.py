@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.faults import PRESETS, FaultEvent, FaultPlan
+from repro.faults.plan import PRESET_SUMMARIES, preset_catalog
 
 
 class TestFaultEvent:
@@ -52,3 +53,20 @@ class TestFaultPlan:
     def test_unrecoverable_preset_targets_authority(self):
         plan = FaultPlan.generate("unrecoverable", seed=0, n_ops=64)
         assert all(event.site == "authority" for event in plan.events)
+
+    def test_cluster_presets_target_the_cluster_site(self):
+        for preset in ("cluster-lossy", "cluster-crash", "cluster-partition"):
+            plan = FaultPlan.generate(preset, seed=0, n_ops=64)
+            assert all(event.site == "cluster" for event in plan.events)
+
+
+class TestPresetCatalog:
+    def test_summaries_cover_exactly_the_presets(self):
+        # The docstring catalog is generated from PRESET_SUMMARIES; this
+        # pin keeps it in lockstep with the PRESETS registry.
+        assert set(PRESET_SUMMARIES) == set(PRESETS)
+
+    def test_catalog_lists_every_preset(self):
+        catalog = preset_catalog()
+        for name in PRESETS:
+            assert name in catalog

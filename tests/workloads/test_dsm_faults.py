@@ -1,0 +1,124 @@
+"""The DSM workload patterns under an armed kernel fault injector.
+
+The in-process :class:`~repro.workloads.dsm.DSMCluster` predates the
+resilient cluster subsystem, but its typed-fault contract and its
+tolerance of kernel-level fault injection are load-bearing: the sharing
+patterns must survive protection-cache corruption and machine checks on
+a member kernel (the structures are soft state), and an armed injector
+whose events never fire must leave the run byte-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.errors import (
+    ClusterConfigError,
+    DSMProtocolError,
+)
+from repro.faults.plan import FaultEvent, FaultInjector, FaultPlan
+from repro.faults.scrub import Scrubber
+from repro.workloads.dsm import DSMCluster, SHARED_BASE_VPN
+
+PATTERNS = (
+    "run_migratory",
+    "run_producer_consumer",
+    "run_false_sharing",
+    "run_split_pages",
+)
+
+#: Small-run arguments per pattern, keyed to each driver's signature.
+PATTERN_ARGS = {
+    "run_migratory": {"rounds": 2, "refs_per_round": 60},
+    "run_producer_consumer": {"iterations": 4, "region_pages": 4},
+    "run_false_sharing": {"rounds": 6, "pages": 2},
+    "run_split_pages": {"rounds": 6, "pages": 2},
+}
+
+
+class TestTypedFaults:
+    def test_bad_topology_is_a_cluster_config_error(self):
+        with pytest.raises(ClusterConfigError):
+            DSMCluster("plb", nodes=1, pages=4)
+        # The original contract (bare ValueError) still holds.
+        with pytest.raises(ValueError):
+            DSMCluster("plb", nodes=0, pages=4)
+
+    def test_unknown_page_is_a_protocol_error(self):
+        cluster = DSMCluster("plb", nodes=2, pages=4)
+        with pytest.raises(DSMProtocolError):
+            cluster.get_readable(cluster.nodes[1], SHARED_BASE_VPN + 999)
+        # And still a KeyError for seed-contract callers.
+        with pytest.raises(KeyError):
+            cluster.get_writable(cluster.nodes[0], 0x1)
+
+
+def _mce_plan() -> FaultPlan:
+    """Corruption plus a machine check, firing on the first tick."""
+    return FaultPlan(
+        events=(
+            FaultEvent("cache", "corrupt", at=0),
+            FaultEvent("cache", "mce", at=0),
+        ),
+        seed=11,
+        name="dsm-mce",
+    )
+
+
+class TestPatternsUnderInjection:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize("model", ("plb", "pagegroup", "conventional"))
+    def test_pattern_survives_member_kernel_faults(self, pattern, model):
+        cluster = DSMCluster(model, nodes=3, pages=8, seed=4)
+        kernel = cluster.nodes[0].kernel
+        # Warm the protection structures so corruption has a target.
+        getattr(cluster, pattern)(**PATTERN_ARGS[pattern])
+        injector = FaultInjector(_mce_plan())
+        injector.arm(kernel)
+        injector.tick(0)  # corrupt a cached entry, then machine-check
+        assert kernel.stats["faults.injected"] >= 1
+        # The pattern must complete against the faulted member; the
+        # machine check rebuilt soft state, the scrub repairs the rest.
+        getattr(cluster, pattern)(**PATTERN_ARGS[pattern])
+        injector.disarm()
+        Scrubber(kernel).scrub()
+        assert kernel.stats["kernel.fault.machine_check"] >= 1
+        assert kernel.stats["faults.recovered"] >= 1
+
+    def test_scrub_after_corruption_restores_authority_view(self):
+        cluster = DSMCluster("plb", nodes=2, pages=4, seed=4)
+        kernel = cluster.nodes[0].kernel
+        cluster.run_migratory(rounds=1, refs_per_round=40)
+        injector = FaultInjector(
+            FaultPlan(events=(FaultEvent("cache", "corrupt", at=0),), seed=2)
+        )
+        injector.arm(kernel)
+        injector.tick(0)
+        injector.disarm()
+        Scrubber(kernel).scrub()
+        from repro.check.invariants import check_invariants
+
+        assert check_invariants(kernel) == []
+
+
+class TestZeroOverheadPin:
+    def test_armed_never_firing_injectors_change_nothing(self):
+        def run(with_injectors: bool):
+            cluster = DSMCluster("plb", nodes=3, pages=8, seed=4)
+            injectors = []
+            if with_injectors:
+                for node in cluster.nodes:
+                    injector = FaultInjector(
+                        FaultPlan(
+                            events=(FaultEvent("cache", "mce", at=10**9),),
+                            seed=1,
+                        )
+                    )
+                    injector.arm(node.kernel)
+                    injectors.append(injector)
+            stats = cluster.run_migratory(rounds=2, refs_per_round=80)
+            for injector in injectors:
+                injector.disarm()
+            return stats.as_dict()
+
+        assert run(False) == run(True)
