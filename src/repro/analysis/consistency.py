@@ -24,10 +24,12 @@ page*, which the paper orders PLB ≤ page-group ≤ conventional.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.analysis.report import format_table
+from repro.check.invariants import check_invariants
+from repro.core.costs import DEFAULT_COSTS
 from repro.core.rights import Rights
 from repro.os.kernel import MODELS, Kernel
 from repro.sim.machine import SMPMachine
@@ -191,3 +193,244 @@ def consistency_table(
         + headline
         + "\n(paper ordering: plb <= pagegroup <= conventional)"
     )
+
+
+# --------------------------------------------------------------------- #
+# Batched (range) shootdowns: the §4.1.3 costs per *verb*, not per page
+
+#: Batched-table verb labels, in row order.
+BATCH_VERB_RIGHTS = "rights change (all domains, K pages)"
+BATCH_VERB_MOVE = "move K pages to a group"
+BATCH_VERB_UNMAP = "unmap K pages"
+BATCH_VERBS: tuple[str, ...] = (BATCH_VERB_RIGHTS, BATCH_VERB_MOVE, BATCH_VERB_UNMAP)
+
+
+@dataclass(frozen=True)
+class BatchedVerbCost:
+    """Remote traffic one multi-page verb generated, with its cycle bill."""
+
+    msgs: int
+    entries: int
+    cycles: int
+
+    def render(self) -> str:
+        return f"{self.msgs} / {self.entries} / {self.cycles}"
+
+
+def _shootdown_cycles(delta) -> int:
+    """Price a stats delta's shootdown traffic (IPIs + entry updates)."""
+    return sum(
+        count * DEFAULT_COSTS.weight_for(name)
+        for name, count in delta.as_dict().items()
+        if "shootdown" in name
+    )
+
+
+@dataclass
+class BatchedResult:
+    """One model's group-verb workload, measured batched and legacy.
+
+    ``end_state_ok`` is the differential check: after both runs, the
+    batched and legacy kernels must expose identical protection state
+    (authority rights per domain-page, residency, group placement) and
+    both must pass the structural cache-coherence invariants on every
+    CPU — a batched invalidation that missed a CPU would leave a stale
+    entry the invariant sweep names.
+    """
+
+    model: str
+    n_cpus: int
+    pages: int
+    batched: dict[str, BatchedVerbCost]
+    legacy: dict[str, BatchedVerbCost]
+    end_state_ok: bool
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def workload_msgs(self) -> tuple[int, int]:
+        """(batched, legacy) total remote messages over the workload."""
+        return (
+            sum(cost.msgs for cost in self.batched.values()),
+            sum(cost.msgs for cost in self.legacy.values()),
+        )
+
+
+def _stage_batched_kernel(
+    model: str, *, n_cpus: int, n_domains: int, pages: int, n_frames: int, batch: bool
+):
+    """Build and warm one kernel for the group-verb workload."""
+    kernel = Kernel(model, n_frames=n_frames, n_cpus=n_cpus)
+    kernel.bus.batch = batch
+    domains = [kernel.create_domain(f"node{i}") for i in range(n_domains)]
+    shared = kernel.create_segment("shared", pages)
+    for domain in domains:
+        kernel.attach(domain, shared, Rights.RW)
+    smp = SMPMachine(kernel)
+    for cpu in range(n_cpus):
+        for domain in domains:
+            for vpn in shared.vpns():
+                smp.touch_on(cpu, domain, kernel.params.vaddr(vpn))
+    kernel.set_current_cpu(0)
+    return kernel, domains, shared
+
+
+def _run_group_verbs(kernel, domains, shared, pages: int) -> dict[str, BatchedVerbCost]:
+    """The group-verb workload: three K-page verbs on disjoint thirds."""
+    third = pages // 3
+    vpns = list(shared.vpns())
+    costs: dict[str, BatchedVerbCost] = {}
+
+    def measure(label, fn):
+        before = kernel.stats.snapshot()
+        fn()
+        delta = kernel.stats.delta(before)
+        cost = _remote_delta(kernel, before)
+        costs[label] = BatchedVerbCost(
+            msgs=cost.msgs, entries=cost.entries, cycles=_shootdown_cycles(delta)
+        )
+
+    measure(
+        BATCH_VERB_RIGHTS,
+        lambda: kernel.set_pages_rights_all_domains(vpns[:third], Rights.READ),
+    )
+    if kernel.model == "pagegroup":
+        group = kernel.create_page_group()
+        for domain in domains:
+            kernel.grant_group(domain, group)
+        measure(
+            BATCH_VERB_MOVE,
+            lambda: kernel.move_pages_to_group(
+                vpns[third : 2 * third], group, rights=Rights.READ
+            ),
+        )
+    measure(BATCH_VERB_UNMAP, lambda: kernel.unmap_pages(vpns[2 * third :]))
+    return costs
+
+
+def _protection_end_state(kernel, domains, shared) -> dict:
+    """The authority-level protection facts a differential compare pins."""
+    state: dict = {}
+    for vpn in shared.vpns():
+        state[("resident", vpn)] = kernel.page_resident(vpn)
+        state[("group", vpn)] = kernel.page_info(vpn)
+        for domain in domains:
+            info = kernel.rights_for(domain.pd_id, vpn)
+            state[("rights", domain.pd_id, vpn)] = (
+                None if info is None else info.rights
+            )
+    return state
+
+
+def measure_batched(
+    model: str,
+    *,
+    n_cpus: int = 8,
+    n_domains: int = 4,
+    pages: int = 24,
+    n_frames: int = 512,
+) -> BatchedResult:
+    """Run the group-verb workload batched AND legacy on twin kernels.
+
+    Both kernels see the identical scenario; only ``bus.batch`` differs.
+    The differential check then requires identical protection end state
+    and clean structural invariants on both — so the message reduction
+    is demonstrably free of correctness cost.
+    """
+    if pages < 6:
+        raise ValueError("the group-verb workload needs at least 6 pages")
+    runs: dict[bool, dict[str, BatchedVerbCost]] = {}
+    ends: dict[bool, dict] = {}
+    problems: list[str] = []
+    for batch in (True, False):
+        kernel, domains, shared = _stage_batched_kernel(
+            model,
+            n_cpus=n_cpus,
+            n_domains=n_domains,
+            pages=pages,
+            n_frames=n_frames,
+            batch=batch,
+        )
+        runs[batch] = _run_group_verbs(kernel, domains, shared, pages)
+        ends[batch] = _protection_end_state(kernel, domains, shared)
+        label = "batched" if batch else "legacy"
+        problems.extend(f"{label}: {text}" for text in check_invariants(kernel))
+    if ends[True] != ends[False]:
+        diff = {
+            key
+            for key in set(ends[True]) | set(ends[False])
+            if ends[True].get(key) != ends[False].get(key)
+        }
+        problems.append(f"end-state divergence on {sorted(diff)[:8]}")
+    return BatchedResult(
+        model=model,
+        n_cpus=n_cpus,
+        pages=pages,
+        batched=runs[True],
+        legacy=runs[False],
+        end_state_ok=not problems,
+        problems=problems,
+    )
+
+
+def batched_table(
+    models: Sequence[str] = MODELS,
+    *,
+    n_cpus: int = 8,
+    n_domains: int = 4,
+    pages: int = 24,
+    n_frames: int = 512,
+    batch: bool = True,
+) -> str:
+    """The batched-vs-legacy §4.1.3 comparison, rendered.
+
+    Every row shows ``msgs / entries / cycles`` per multi-page verb for
+    each model, batched against legacy, plus machine-parseable workload
+    lines (the CI smoke greps them) and the differential end-state
+    verdict.  ``batch`` selects which mode the headline lines report —
+    both modes are always measured and verified against each other.
+    """
+    results = {
+        model: measure_batched(
+            model, n_cpus=n_cpus, n_domains=n_domains, pages=pages, n_frames=n_frames
+        )
+        for model in models
+    }
+    headers = ["verb (on CPU 0)"] + [
+        f"{m} {mode}" for m in results for mode in ("batched", "legacy")
+    ]
+    rows = []
+    for verb in BATCH_VERBS:
+        row = [verb]
+        for model, result in results.items():
+            for costs in (result.batched, result.legacy):
+                cost = costs.get(verb)
+                row.append("-" if cost is None else cost.render())
+        rows.append(row)
+    third = pages // 3
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"§4.1.3 batched range shootdowns: msgs / entries / cycles per verb "
+            f"(K={third} pages, {n_cpus} CPUs, {n_domains} domains)"
+        ),
+    )
+    mode = "on" if batch else "off"
+    lines = [table, ""]
+    for model, result in results.items():
+        batched_msgs, legacy_msgs = result.workload_msgs
+        msgs = batched_msgs if batch else legacy_msgs
+        lines.append(
+            f"group-verb workload [batch={mode}] model={model}: "
+            f"smp.shootdown.msgs={msgs} "
+            f"(batched={batched_msgs}, legacy={legacy_msgs}, "
+            f"reduction={legacy_msgs / batched_msgs:.1f}x)"
+        )
+    ok = all(result.end_state_ok for result in results.values())
+    if ok:
+        lines.append("end-state check: OK (batched == legacy, invariants clean)")
+    else:
+        for model, result in results.items():
+            for problem in result.problems:
+                lines.append(f"end-state check: FAIL [{model}] {problem}")
+    return "\n".join(lines)

@@ -105,6 +105,35 @@ def recovery_counter_lines(stats_by_model) -> list[str]:
     return lines
 
 
+#: Range-shootdown batching counters surfaced next to the recovery
+#: block.  Nonzero only when a multi-CPU run actually coalesced a
+#: multi-page verb, so single-CPU (and pre-batching) output is
+#: byte-identical — the pinned seed baselines never see these lines.
+SMP_BATCH_COUNTERS = (
+    "smp.shootdown.batches",
+    "smp.shootdown.batched_entries",
+    "smp.tlb_shootdown.batches",
+    "smp.tlb_shootdown.batched_entries",
+)
+
+
+def smp_batch_counter_lines(stats_by_model) -> list[str]:
+    """Shootdown-batching counter lines — empty when nothing batched."""
+    totals = {
+        model: {name: stats.get(name, 0) for name in SMP_BATCH_COUNTERS}
+        for model, stats in stats_by_model.items()
+    }
+    if not any(any(counts.values()) for counts in totals.values()):
+        return []
+    lines = ["batched shootdowns:"]
+    for model, counts in totals.items():
+        ranked = ", ".join(
+            f"{name}={count}" for name, count in counts.items() if count
+        )
+        lines.append(f"  {model}: {ranked or '(none)'}")
+    return lines
+
+
 def hot_counter_lines(stats_by_model, n: int = 6) -> list[str]:
     """Lead-in lines naming each model's hottest counters.
 
@@ -137,7 +166,10 @@ def run_summary(
             workload=name,
             cycles=result.cycles(costs),
             recovery={
-                model: {c: stats.get(c, 0) for c in RECOVERY_COUNTERS}
+                model: {
+                    c: stats.get(c, 0)
+                    for c in RECOVERY_COUNTERS + SMP_BATCH_COUNTERS
+                }
                 for model, stats in result.stats_by_model.items()
             },
         ))
@@ -181,6 +213,11 @@ def render_summary(rows: list[SummaryRow], *, baseline: str = "plb") -> str:
     )
     if recovery:
         footer += "\n" + "\n".join(recovery)
+    batched = smp_batch_counter_lines(
+        {model: _DictStats(counts) for model, counts in recovery_totals.items()}
+    )
+    if batched:
+        footer += "\n" + "\n".join(batched)
     return table + "\n" + footer
 
 

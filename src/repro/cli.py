@@ -62,6 +62,7 @@ from repro.analysis.summary import (
     recovery_counter_lines,
     render_summary,
     run_summary,
+    smp_batch_counter_lines,
 )
 from repro.analysis.table1 import (
     full_table1,
@@ -372,6 +373,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="pages in the shared segment (default 8, minimum 4)",
     )
     smp.add_argument(
+        "--no-batch", action="store_true",
+        help="report the group-verb workload with range-shootdown "
+        "batching disabled (legacy one-message-per-page); both modes "
+        "are always measured and differentially compared",
+    )
+    smp.add_argument(
         "--plan", default=None,
         help="also run a multi-CPU chaos smoke under this fault plan "
         "(a preset name, 'none', or a JSON file); exit 1 on unrecovered "
@@ -596,6 +603,9 @@ def cmd_workload(name: str, models: Sequence[str], jobs: int = 1) -> str:
     recovery = recovery_counter_lines(result.stats_by_model)
     if recovery:
         lines.extend(recovery)
+    batched = smp_batch_counter_lines(result.stats_by_model)
+    if batched:
+        lines.extend(batched)
     lines.append("")
     lines.append(result.render())
     if summary_rows and summary_rows[0][1:]:
@@ -955,6 +965,9 @@ def cmd_profile(name: str, model: str, top: int) -> str:
     recovery = recovery_counter_lines({model: delta})
     if recovery:
         footer += "\n" + "\n".join(recovery)
+    batched = smp_batch_counter_lines({model: delta})
+    if batched:
+        footer += "\n" + "\n".join(batched)
     return table + footer
 
 
@@ -1152,9 +1165,10 @@ def cmd_smp(
     seed_text: str,
     n_ops: int,
     scrub_every: int,
+    batch: bool = True,
 ) -> int:
     """The §4.1.3 consistency table, plus an optional multi-CPU chaos smoke."""
-    from repro.analysis.consistency import consistency_table
+    from repro.analysis.consistency import batched_table, consistency_table
 
     _validate_parallelism(cpus=cpus)
     if domains < 1:
@@ -1165,6 +1179,14 @@ def cmd_smp(
                 tuple(models), n_cpus=cpus, n_domains=domains, pages=pages
             )
         )
+        if cpus > 1:
+            print()
+            report = batched_table(
+                tuple(models), n_cpus=cpus, n_domains=domains, batch=batch
+            )
+            print(report)
+            if "end-state check: FAIL" in report:
+                return 1
     except ValueError as error:
         raise CLIError(str(error))
     if plan_text is None:
@@ -1318,9 +1340,13 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                     model, seed, nodes=args.nodes, pages=args.pages,
                     accesses=args.accesses, n_cpus=args.cpus,
                 )
+                batched = case.counters.get("cluster.msg.batched_pages", 0)
                 print(
                     f"cluster baseline model={model} seed={seed}: "
-                    f"{case.verdict} ({case.messages} messages)"
+                    f"{case.verdict} ({case.messages} messages, "
+                    f"{case.interconnect_cycles} interconnect cycles"
+                    + (f", {batched} pages coalesced" if batched else "")
+                    + ")"
                 )
                 if not case.ok:
                     failed += 1
@@ -1452,6 +1478,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_smp(
             args.cpus, args.models, args.domains, args.pages, args.plan,
             args.scenario, args.seed, args.ops, args.scrub_every,
+            batch=not args.no_batch,
         )
     elif args.command == "serve":
         return cmd_serve(args)

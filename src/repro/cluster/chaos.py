@@ -135,6 +135,9 @@ class ClusterChaosResult:
     detail: str = ""
     counters: dict = field(default_factory=dict)
     recovery_cycles: list = field(default_factory=list)
+    #: Final interconnect virtual clock — total wire/timeout cycles the
+    #: run spent; what per-node message coalescing reduces.
+    interconnect_cycles: int = 0
 
     @property
     def ok(self) -> bool:
@@ -158,6 +161,7 @@ class ClusterChaosResult:
             "plan": self.plan.to_dict() if self.plan is not None else None,
             "counters": self.counters,
             "recovery_cycles": list(self.recovery_cycles),
+            "interconnect_cycles": self.interconnect_cycles,
         }
 
 
@@ -218,6 +222,7 @@ def run_cluster_case(
             messages=messages, detail=detail,
             counters=counters,
             recovery_cycles=list(cluster.recovery_cycles),
+            interconnect_cycles=cluster.net.clock,
         )
 
     try:

@@ -254,10 +254,27 @@ class ClusterDSM:
                 return Message(
                     "invalidate_ack", src=nid, dst=msg.src, vpn=msg.vpn
                 )
+            if kind == "invalidate_range":
+                # Idempotent, like single invalidate: every listed copy
+                # this node holds dies; one ack covers the whole set.
+                for vpn in msg.vpns:
+                    node._set_local_rights(vpn, Rights.NONE)
+                    self._valid[vpn].discard(nid)
+                return Message(
+                    "invalidate_range_ack", src=nid, dst=msg.src,
+                    vpns=msg.vpns,
+                )
             if kind == "writeback":
                 self.home[msg.vpn] = msg.payload
                 return Message(
                     "writeback_ack", src=nid, dst=msg.src, vpn=msg.vpn
+                )
+            if kind == "writeback_batch":
+                for vpn, image in zip(msg.vpns, msg.payloads):
+                    self.home[vpn] = image
+                return Message(
+                    "writeback_batch_ack", src=nid, dst=msg.src,
+                    vpns=msg.vpns,
                 )
             if kind in ("heartbeat", "probe"):
                 return Message(kind + "_ack", src=nid, dst=msg.src)
@@ -285,8 +302,13 @@ class ClusterDSM:
         kind: str,
         vpn: int | None = None,
         payload: bytes | None = None,
+        vpns: tuple[int, ...] | None = None,
+        payloads: tuple[bytes, ...] | None = None,
     ) -> Message:
-        message = Message(kind, src=src, dst=dst, vpn=vpn, payload=payload)
+        message = Message(
+            kind, src=src, dst=dst, vpn=vpn, payload=payload,
+            vpns=vpns, payloads=payloads,
+        )
         prefer_relay = frozenset((src, dst)) in self._partitioned
         backoff = BACKOFF_BASE_CYCLES
         retried = False
@@ -476,6 +498,9 @@ class ClusterDSM:
     def _flush_exclusive(self) -> list[int]:
         flushed: list[int] = []
         actor_ids = {node.node_id for node in self._actors()}
+        #: owner -> that owner's (vpn, image) flushes for this tick;
+        #: they all go to the same coordinator, so they share one wire.
+        pending: dict[int, list[tuple[int, bytes]]] = {}
         for vpn in self.vpns:
             entry = self.directory[vpn]
             if entry.state is not CopyState.EXCLUSIVE:
@@ -491,17 +516,36 @@ class ClusterDSM:
                 # The owner co-hosts the home replica: a local flush.
                 self.home[vpn] = data
                 self.stats.inc("cluster.writeback.local")
+                entry.lease_until = self.net.clock + self.lease_cycles
+                flushed.append(vpn)
             else:
-                try:
+                pending.setdefault(owner_id, []).append((vpn, data))
+        for owner_id, batch in sorted(pending.items()):
+            # One writeback_batch per owner per tick: K page images
+            # behind a single header and a single ack, instead of K
+            # full round trips.  The whole batch renews or fails as
+            # one lease-bearing message.
+            vpns = tuple(vpn for vpn, _data in batch)
+            try:
+                if len(batch) == 1:
                     self._rpc(
                         owner_id, self.coordinator_id, "writeback",
-                        vpn, payload=data,
+                        vpns[0], payload=batch[0][1],
                     )
-                except ClusterError:
-                    self.stats.inc("cluster.writeback.failed")
-                    continue
-            entry.lease_until = self.net.clock + self.lease_cycles
-            flushed.append(vpn)
+                else:
+                    self._rpc(
+                        owner_id, self.coordinator_id, "writeback_batch",
+                        vpns=vpns,
+                        payloads=tuple(data for _vpn, data in batch),
+                    )
+            except ClusterError:
+                self.stats.inc("cluster.writeback.failed", len(batch))
+                continue
+            for vpn in vpns:
+                self.directory[vpn].lease_until = (
+                    self.net.clock + self.lease_cycles
+                )
+                flushed.append(vpn)
         return flushed
 
     def _heartbeats(self) -> None:
@@ -632,35 +676,66 @@ class ClusterDSM:
 
     def get_writable(self, node: ClusterNode, vpn: int) -> None:
         """Table 1 "Get Writable": exclusive copy, remote invalidates."""
-        entry = self._entry(vpn)
-        self.stats.inc("cluster.get_writable")
+        self.get_writable_range(node, (vpn,))
+
+    def get_writable_range(self, node: ClusterNode, vpns) -> None:
+        """"Get Writable" over a page set, fan-out coalesced per node.
+
+        The invalidations for every page a holder node must give up
+        travel as ONE ``invalidate_range`` message to that node (single
+        pages keep the plain ``invalidate`` wire format), so acquiring
+        K shared pages costs one message per holder, not one per
+        (holder, page) pair.
+        """
+        vpns = tuple(dict.fromkeys(vpns))
+        if not vpns:
+            return
+        entries = {vpn: self._entry(vpn) for vpn in vpns}
+        self.stats.inc("cluster.get_writable", len(vpns))
         nid = node.node_id
         for _ in range(2):
             try:
-                data = None
-                if nid not in self._valid[vpn]:
-                    data = self._acquire_data(node, vpn)
-                for other in sorted(entry.copyset | {entry.owner}):
-                    if other == nid or other not in self.live:
-                        continue
+                data: dict[int, bytes] = {}
+                for vpn in vpns:
+                    if nid not in self._valid[vpn]:
+                        data[vpn] = self._acquire_data(node, vpn)
+                # Coalesce the fan-out: every page a holder loses, in
+                # one message to that holder.
+                doomed: dict[int, list[int]] = {}
+                for vpn in vpns:
+                    entry = entries[vpn]
+                    for other in sorted(entry.copyset | {entry.owner}):
+                        if other == nid or other not in self.live:
+                            continue
+                        doomed.setdefault(other, []).append(vpn)
+                for other, pages in sorted(doomed.items()):
                     try:
-                        self._rpc(nid, other, "invalidate", vpn)
+                        if len(pages) == 1:
+                            self._rpc(nid, other, "invalidate", pages[0])
+                        else:
+                            self._rpc(
+                                nid, other, "invalidate_range",
+                                vpns=tuple(pages),
+                            )
                     except NodeCrashedError:
-                        continue  # a dead holder's copy died with it
+                        continue  # a dead holder's copies died with it
             except NodeCrashedError:
                 continue  # the data source died; restart the verb
             # Commit: no messages below this line.
-            if data is not None:
-                node.write_page(vpn, data)
-            entry.owner = nid
-            entry.copyset = {nid}
-            entry.state = CopyState.EXCLUSIVE
-            entry.lease_until = self.net.clock + self.lease_cycles
-            self._valid[vpn] = {nid}
-            node._set_local_rights(vpn, Rights.RW)
+            for vpn in vpns:
+                entry = entries[vpn]
+                if vpn in data:
+                    node.write_page(vpn, data[vpn])
+                entry.owner = nid
+                entry.copyset = {nid}
+                entry.state = CopyState.EXCLUSIVE
+                entry.lease_until = self.net.clock + self.lease_cycles
+                self._valid[vpn] = {nid}
+                node._set_local_rights(vpn, Rights.RW)
             return
         raise ClusterTimeoutError(
-            f"get_writable({vpn:#x}) could not complete after recovery"
+            f"get_writable_range({', '.join(f'{vpn:#x}' for vpn in vpns)}) "
+            "could not complete after recovery"
         )
 
     # -------------------------------------------------------------- #

@@ -84,11 +84,16 @@ class Interconnect:
     # The wire
 
     def _wire_cost(self, message: Message) -> int:
-        return (
-            self.page_latency_cycles
-            if message.payload is not None
-            else self.latency_cycles
-        )
+        if message.payloads is not None:
+            # A K-page batch shares one header: base latency once, then
+            # only the per-page data time for each carried image.  K=1
+            # degenerates to exactly one page message's cost.
+            return self.latency_cycles + len(message.payloads) * (
+                self.page_latency_cycles - self.latency_cycles
+            )
+        if message.payload is not None:
+            return self.page_latency_cycles
+        return self.latency_cycles
 
     def send(self, message: Message) -> Message | None:
         """One synchronous request; returns the reply or None (timeout).
@@ -103,6 +108,8 @@ class Interconnect:
         stats = self.stats
         stats.inc("cluster.msg.sent")
         stats.inc(f"cluster.msg.{message.kind}")
+        if message.vpns is not None:
+            stats.inc("cluster.msg.batched_pages", len(message.vpns))
         self.clock += self._wire_cost(message)
 
         verdict = self.hook(message, index) if self.hook is not None else None

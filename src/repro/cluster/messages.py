@@ -17,6 +17,12 @@ The vocabulary (request -> reply):
 * ``invalidate`` -> ``invalidate_ack`` — Table 1 "Invalidate" remotely.
 * ``writeback`` -> ``writeback_ack`` — periodic durability flush of an
   exclusive page to the home store (lease renewal piggybacks on it).
+* ``writeback_batch`` -> ``writeback_batch_ack`` — one tick's flush of
+  *all* of an owner's exclusive pages in a single message: K page
+  images share one header and one ack instead of K round trips.
+* ``invalidate_range`` -> ``invalidate_range_ack`` — Table 1
+  "Invalidate" for a page *set*: one header-cost message per holder
+  node regardless of how many of its copies die.
 * ``heartbeat`` -> ``heartbeat_ack`` — the failure detector's pulse.
 * ``probe`` -> ``probe_ack`` — a witness liveness check during suspect
   resolution (distinguishes a dead node from a cut link).
@@ -44,6 +50,10 @@ MESSAGE_KINDS = (
     "invalidate_ack",
     "writeback",
     "writeback_ack",
+    "writeback_batch",
+    "writeback_batch_ack",
+    "invalidate_range",
+    "invalidate_range_ack",
     "heartbeat",
     "heartbeat_ack",
     "probe",
@@ -66,6 +76,10 @@ class Message:
         ok: Reply status — False is a NAK (e.g. a fetch target without
             a valid copy).
         payload: Page image bytes, for data-bearing kinds.
+        vpns: The page *set* a batched kind concerns (``invalidate_range``,
+            ``writeback_batch``); one message, many pages.
+        payloads: One page image per entry of ``vpns`` for
+            ``writeback_batch``; positionally matched.
         inner: The carried message, for ``relay`` only.
     """
 
@@ -75,6 +89,8 @@ class Message:
     vpn: int | None = None
     ok: bool = True
     payload: bytes | None = field(default=None, repr=False)
+    vpns: tuple[int, ...] | None = None
+    payloads: tuple[bytes, ...] | None = field(default=None, repr=False)
     inner: "Message | None" = None
 
     def __post_init__(self) -> None:
@@ -84,6 +100,10 @@ class Message:
             raise ValueError(f"message to self (node {self.src})")
         if self.kind == "relay" and self.inner is None:
             raise ValueError("relay message carries no inner message")
+        if self.payloads is not None and (
+            self.vpns is None or len(self.payloads) != len(self.vpns)
+        ):
+            raise ValueError("payloads must match vpns one-to-one")
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {
@@ -94,6 +114,10 @@ class Message:
             "ok": self.ok,
             "payload": self.payload.hex() if self.payload is not None else None,
         }
+        if self.vpns is not None:
+            data["vpns"] = list(self.vpns)
+        if self.payloads is not None:
+            data["payloads"] = [image.hex() for image in self.payloads]
         if self.inner is not None:
             data["inner"] = self.inner.to_dict()
         return data
@@ -101,6 +125,8 @@ class Message:
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "Message":
         payload = data.get("payload")
+        vpns = data.get("vpns")
+        payloads = data.get("payloads")
         inner = data.get("inner")
         return cls(
             kind=data["kind"],
@@ -109,6 +135,12 @@ class Message:
             vpn=data.get("vpn"),
             ok=data.get("ok", True),
             payload=bytes.fromhex(payload) if payload is not None else None,
+            vpns=tuple(vpns) if vpns is not None else None,
+            payloads=(
+                tuple(bytes.fromhex(image) for image in payloads)
+                if payloads is not None
+                else None
+            ),
             inner=cls.from_dict(inner) if inner is not None else None,
         )
 

@@ -64,6 +64,21 @@ class LinearPageTable:
         entry.rights = rights
         return True
 
+    def set_rights_many(self, vpns, rights: Rights) -> int:
+        """Rewrite rights for a VPN batch; returns entries changed.
+
+        One table pass backing the batched per-domain sweep of a range
+        verb on the conventional model.
+        """
+        changed = 0
+        entries = self._entries
+        for vpn in vpns:
+            entry = entries.get(vpn)
+            if entry is not None:
+                entry.rights = rights
+                changed += 1
+        return changed
+
     @property
     def mapped_entries(self) -> int:
         """Pages actually mapped (what a sparse table would store)."""

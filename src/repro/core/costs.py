@@ -230,6 +230,11 @@ class CycleCosts:
     #: timeout time itself is on the interconnect's virtual clock, this
     #: prices the CPU-side marshalling/interrupt work per message.
     network_msg: int = 2_000
+    #: One remote shootdown message (IPI + handler entry on the target
+    #: CPU).  Per *message*, not per page — which is exactly what range
+    #: shootdowns optimize: a batched K-page verb pays this once per
+    #: CPU, the per-entry invalidation work is priced separately.
+    shootdown_ipi: int = 500
 
     #: Counter-name suffix -> attribute name.  Any counter whose dotted
     #: name ends in a key is charged that weight.
@@ -261,6 +266,10 @@ class CycleCosts:
         "compress.page_in": "compress_page",
         "memory.page_write": "page_copy",
         "cluster.msg.sent": "network_msg",
+        "smp.shootdown.msgs": "shootdown_ipi",
+        "smp.tlb_shootdown.msgs": "shootdown_ipi",
+        "smp.shootdown.entries": "entry_update",
+        "smp.tlb_shootdown.entries": "entry_update",
     }
 
     def weight_for(self, counter: str) -> int:

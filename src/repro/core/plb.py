@@ -287,6 +287,45 @@ class ProtectionLookasideBuffer:
         self.stats.inc(f"{self.name}.sweep_updated", changed)
         return inspected, changed
 
+    def update_entries_for_pages(
+        self,
+        vpns,
+        rights: Rights,
+        pd_id: int | None = None,
+    ) -> tuple[int, int]:
+        """Rewrite rights for a whole VPN batch in ONE store pass.
+
+        The range-shootdown fast path: a batched verb over K pages
+        sweeps all levels once, instead of K independent
+        :meth:`update_entries_for_page` passes — the per-entry effect
+        (level-0 rewritten in place, super/sub-page overlaps removed to
+        refault at page granularity) is identical.  Returns
+        ``(inspected, changed)``.
+        """
+        wanted = set(vpns)
+        inspected = 0
+        changed = 0
+        doomed: list[PLBKey] = []
+        for key, entry in self._store.items():
+            inspected += 1
+            if pd_id is not None and key.pd_id != pd_id:
+                continue
+            if key.level == 0:
+                if key.unit not in wanted:
+                    continue
+            elif not any(self._overlaps(key, vpn, vpn + 1) for vpn in wanted):
+                continue
+            if key.level == 0:
+                entry.rights = rights
+            else:
+                doomed.append(key)
+            changed += 1
+        for key in doomed:
+            self._store.invalidate(key)
+        self.stats.inc(f"{self.name}.sweep_inspected", inspected)
+        self.stats.inc(f"{self.name}.sweep_updated", changed)
+        return inspected, changed
+
     def purge_page(self, vpn: int) -> tuple[int, int]:
         """Remove every domain's entries touching one page.
 

@@ -143,6 +143,20 @@ class TranslationTLB:
                 return True
         return False
 
+    def invalidate_pages(self, vpns) -> int:
+        """Drop the translations covering a VPN batch in one sweep.
+
+        The range-shootdown fast path: instead of probing every level
+        per page, one associative pass removes every entry whose
+        ``(level, unit)`` covers a batched page.  Returns entries
+        removed; accounting matches ``invalidate`` per entry.
+        """
+        units = {(level, vpn >> level) for vpn in vpns for level in self.levels}
+        _, removed = self._cache.sweep(lambda key, _entry: key in units)
+        if removed:
+            self.stats.inc(f"{self.name}.invalidate", removed)
+        return removed
+
     def purge(self) -> int:
         removed = self._cache.purge()
         self.stats.inc(f"{self.name}.purge")
@@ -240,8 +254,36 @@ class AIDTaggedTLB:
         self.stats.inc(f"{self._cache.name}.update")
         return True
 
+    def update_pages(self, vpns, *, rights: Rights | None = None,
+                     aid: int | None = None) -> int:
+        """Rewrite rights and/or AID for every resident page of a batch.
+
+        The range-shootdown fast path: one pass over the store applies a
+        whole batched verb (e.g. "move K pages into a group") instead of
+        K independent probes.  Returns entries changed; accounting
+        matches ``update`` per entry.
+        """
+        wanted = set(vpns)
+        changed = 0
+        for vpn, entry in self._cache.items():
+            if vpn in wanted:
+                if rights is not None:
+                    entry.rights = rights
+                if aid is not None:
+                    entry.aid = aid
+                changed += 1
+        if changed:
+            self.stats.inc(f"{self._cache.name}.update", changed)
+        return changed
+
     def invalidate(self, vpn: int) -> bool:
         return self._cache.invalidate(vpn)
+
+    def invalidate_pages(self, vpns) -> int:
+        """Drop every resident entry of a VPN batch in one sweep."""
+        wanted = set(vpns)
+        _, removed = self._cache.sweep(lambda vpn, _entry: vpn in wanted)
+        return removed
 
     def drop(self, vpn: int) -> bool:
         """Remove one entry without accounting (scrub repair path)."""
@@ -309,6 +351,29 @@ class ASIDTaggedTLB:
         entry.rights = rights
         self.stats.inc(f"{self._cache.name}.update")
         return True
+
+    def update_rights_pages(self, asid: int, vpns, rights: Rights) -> int:
+        """Rewrite one domain's rights for a VPN batch in one pass.
+
+        The conventional model's range-shootdown fast path: the batch
+        still only reaches ONE domain's replicas (they are tagged with
+        its ASID) — the per-domain message cost of §4.1.3 survives
+        batching.  Returns entries changed.
+        """
+        wanted = set(vpns)
+        changed = 0
+        for (entry_asid, vpn), entry in self._cache.items():
+            if entry_asid == asid and vpn in wanted:
+                entry.rights = rights
+                changed += 1
+        if changed:
+            self.stats.inc(f"{self._cache.name}.update", changed)
+        return changed
+
+    def invalidate_pages(self, vpns) -> tuple[int, int]:
+        """Remove every domain's replicas of a VPN batch in one sweep."""
+        wanted = set(vpns)
+        return self._cache.sweep(lambda key, _entry: key[1] in wanted)
 
     def invalidate_page(self, vpn: int) -> tuple[int, int]:
         """Remove every domain's replica of a page's translation.

@@ -453,9 +453,14 @@ class Kernel:
             raise KernelError(f"{segment.name} is not a live segment")
         for domain in self.attached_domains(segment):
             self.ops.detach(domain, segment)
+        resident = [
+            vpn for vpn in segment.vpns() if self.translations.is_resident(vpn)
+        ]
+        if resident:
+            # One batched translation shootdown for the whole segment
+            # instead of one unmap trap + broadcast per resident page.
+            self.free_pages(resident)
         for vpn in segment.vpns():
-            if self.translations.is_resident(vpn):
-                self.free_page(vpn)
             self.translations.forget(vpn)
             self.group_table.forget(vpn)
             self.backing.discard(vpn)
@@ -492,6 +497,22 @@ class Kernel:
         self._trap("set_rights_all")
         with self.tracer.span("kernel.set_rights_all", vpn=vpn):
             self.ops.set_rights_all(vpn, rights)
+
+    def set_pages_rights_all_domains(self, vpns, rights: Rights) -> None:
+        """Change every attached domain's rights on a page batch.
+
+        The range form of :meth:`set_rights_all_domains`: one kernel
+        entry and one range shootdown per target CPU for the whole VPN
+        set (K messages collapse to 1 on the SASOS models; the
+        conventional model still pays one message per sharing domain —
+        the §4.1.3 ordering, now per verb instead of per page).
+        """
+        vpns = tuple(vpns)
+        if not vpns:
+            return
+        self._trap("set_rights_all")
+        with self.tracer.span("kernel.set_rights_all_pages", pages=len(vpns)):
+            self.ops.set_rights_all_pages(vpns, rights)
 
     def set_segment_rights(
         self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
@@ -556,6 +577,7 @@ class Kernel:
             "revoke_group",
             lambda system: int(system.groups.drop(aid)),
             predicate=lambda ctx: ctx.system.current_domain == pd_id,
+            pages=tuple(self.group_table.pages_in_group(aid)),
         )
 
     def move_page_to_group(self, vpn: int, aid: int, *, rights: Rights | None = None) -> int:
@@ -591,6 +613,56 @@ class Kernel:
         self.bus.shootdown(
             "set_rights_global",
             lambda system: int(system.tlb.update(vpn, rights=rights)),
+        )
+
+    def move_pages_to_group(
+        self, vpns, aid: int, *, rights: Rights | None = None
+    ) -> dict[int, int]:
+        """Reassign a page batch to another group with ONE range shootdown.
+
+        The K-page group verb: where a loop of :meth:`move_page_to_group`
+        costs K traps and K×(N−1) bus messages, this costs one trap and
+        one message per remote CPU carrying the whole VPN set.  Returns
+        ``{vpn: previous aid}``.
+        """
+        vpns = tuple(vpns)
+        if not vpns:
+            return {}
+        self._trap("move_pages")
+        self._require_pagegroup()
+        old = {vpn: self.group_table.move(vpn, aid) for vpn in vpns}
+        self._verb_step("moved")
+        if rights is not None:
+            for vpn in vpns:
+                self.group_table.set_rights(vpn, rights)
+            self._verb_step("rights_set")
+        self.bus.shootdown_range(
+            "move_page",
+            vpns,
+            lambda pages: lambda system: system.tlb.update_pages(
+                pages, rights=rights, aid=aid
+            ),
+        )
+        return old
+
+    def set_pages_rights_global(self, vpns, rights: Rights) -> None:
+        """Rewrite a page batch's global rights (page-group model).
+
+        The range form of :meth:`set_page_rights_global`: the group
+        table is updated per page, but every remote CPU sees one message
+        whose single sweep rewrites all its resident entries.
+        """
+        vpns = tuple(vpns)
+        if not vpns:
+            return
+        self._trap("set_page_rights_global")
+        self._require_pagegroup()
+        for vpn in vpns:
+            self.group_table.set_rights(vpn, rights)
+        self.bus.shootdown_range(
+            "set_rights_global",
+            vpns,
+            lambda pages: lambda system: system.tlb.update_pages(pages, rights=rights),
         )
 
     # ------------------------------------------------------------------ #
@@ -669,6 +741,76 @@ class Kernel:
         """Unmap a page and return its frame to the allocator."""
         pfn = self.unmap_page(vpn, flush_cache=flush_cache)
         self.memory.release(pfn)
+
+    def unmap_pages(self, vpns, *, flush_cache: bool = True) -> dict[int, int]:
+        """Remove a page batch's translations with ONE trap and ONE
+        translation shootdown per remote CPU.
+
+        Local work (cache flush, contiguous-segment demotion, TLB
+        invalidate) is identical per page to :meth:`unmap_page`; the
+        remote broadcast carries the whole ``{vpn: pfn}`` set so a
+        segment teardown costs one IPI per CPU, not one per page.
+        Returns ``{vpn: pfn}`` for the freed frames (still allocated).
+        """
+        vpns = tuple(vpns)
+        if not vpns:
+            return {}
+        self._trap("unmap_pages")
+        frames: dict[int, int] = {}
+        for vpn in vpns:
+            pfn = self.translations.pfn_for(vpn)
+            if pfn is None:
+                raise KernelError(f"page {vpn:#x} is not resident")
+            frames[vpn] = pfn
+        with self.tracer.span("kernel.unmap_pages", pages=len(vpns)):
+            for vpn, pfn in frames.items():
+                segment = self.segment_at(vpn)
+                if segment is not None and segment.seg_id in self._contiguous:
+                    del self._contiguous[segment.seg_id]
+                if flush_cache:
+                    if self.system.dcache.org.virtually_tagged:
+                        self.system.dcache.flush_page(vpn)
+                    else:
+                        self.system.dcache.flush_frame(pfn)
+                    l2 = getattr(self.system, "l2", None)
+                    if l2 is not None:
+                        l2.flush_frame(pfn)
+                self.ops.invalidate_translation(vpn)
+            if self.n_cpus > 1:
+                ops = self.ops
+
+                def _remote_unmap_factory(pages, frames=frames, flush=flush_cache):
+                    def _remote_unmap(system):
+                        if flush:
+                            for vpn in pages:
+                                pfn = frames[vpn]
+                                if system.dcache.org.virtually_tagged:
+                                    system.dcache.flush_page(vpn)
+                                else:
+                                    system.dcache.flush_frame(pfn)
+                                l2 = getattr(system, "l2", None)
+                                if l2 is not None:
+                                    l2.flush_frame(pfn)
+                        return ops.invalidate_translations_on(system, pages)
+
+                    return _remote_unmap
+
+                self.bus.shootdown_range(
+                    "unmap_page",
+                    vpns,
+                    _remote_unmap_factory,
+                    kind=TRANSLATION,
+                    include_local=False,
+                )
+            for vpn in frames:
+                self.ops.on_unmap(vpn)
+                self.translations.unmap(vpn)
+        return frames
+
+    def free_pages(self, vpns, *, flush_cache: bool = True) -> None:
+        """Unmap a page batch and return the frames to the allocator."""
+        for pfn in self.unmap_pages(vpns, flush_cache=flush_cache).values():
+            self.memory.release(pfn)
 
     # ------------------------------------------------------------------ #
     # Fault handling
@@ -802,6 +944,10 @@ class ModelOps:
     def set_rights_all(self, vpn: int, rights: Rights) -> None:
         raise NotImplementedError
 
+    def set_rights_all_pages(self, vpns: tuple[int, ...], rights: Rights) -> None:
+        """Batched all-domains rights change over a VPN set (range verb)."""
+        raise NotImplementedError
+
     def set_segment_rights(
         self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
     ) -> None:
@@ -814,6 +960,14 @@ class ModelOps:
     def invalidate_translation_on(self, system: MemorySystem, vpn: int) -> int:
         """Drop one CPU's translation for ``vpn``; returns entries gone."""
         raise NotImplementedError
+
+    def invalidate_translations_on(self, system: MemorySystem, vpns) -> int:
+        """Drop one CPU's translations for a VPN batch in one sweep.
+
+        Default falls back to per-page probes; models with a range fast
+        path (a single associative pass) override it.
+        """
+        return sum(self.invalidate_translation_on(system, vpn) for vpn in vpns)
 
     def rebuild_protection(self, pd_id: int | None = None) -> None:
         """Discard cached protection state; rebuild what cannot refault."""
@@ -851,6 +1005,7 @@ class PLBOps(ModelOps):
         self.kernel.bus.shootdown(
             "detach",
             lambda system: system.plb.purge_domain_range(pd_id, lo, hi)[1],
+            pages=tuple(range(lo, hi)),
         )
 
     def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
@@ -890,6 +1045,23 @@ class PLBOps(ModelOps):
             lambda system: system.plb.update_entries_for_page(vpn, rights)[1],
         )
 
+    def set_rights_all_pages(self, vpns: tuple[int, ...], rights: Rights) -> None:
+        # The range form: one sweep rewrites every cached entry for the
+        # whole batch, so one message per CPU covers K pages.
+        kernel = self.kernel
+        for vpn in vpns:
+            segment = kernel.segment_at(vpn)
+            if segment is not None:
+                for domain in kernel.attached_domains(segment):
+                    domain.page_overrides[vpn] = rights
+        kernel.bus.shootdown_range(
+            "set_rights_all",
+            vpns,
+            lambda pages: lambda system: system.plb.update_entries_for_pages(
+                pages, rights
+            )[1],
+        )
+
     def set_segment_rights(
         self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
     ) -> None:
@@ -901,12 +1073,17 @@ class PLBOps(ModelOps):
         self.kernel.bus.shootdown(
             "set_segment_rights",
             lambda system: system.plb.sweep_domain_range(pd_id, lo, hi, rights)[1],
+            pages=tuple(range(lo, hi)),
         )
 
     def invalidate_translation_on(self, system: PLBSystem, vpn: int) -> int:
         # Only the translation dies; the PLB needs no maintenance
         # (§4.1.3).
         return int(system.tlb.invalidate(vpn))
+
+    def invalidate_translations_on(self, system: PLBSystem, vpns) -> int:
+        # One associative pass over the translation TLB for the batch.
+        return system.tlb.invalidate_pages(vpns)
 
     def rebuild_protection(self, pd_id: int | None = None) -> None:
         # Every PLB entry refaults from the attachment tables, so the
@@ -963,6 +1140,7 @@ class PageGroupOps(ModelOps):
             "detach",
             lambda system: int(system.groups.drop(aid)),
             predicate=lambda ctx: ctx.system.current_domain == pd_id,
+            pages=tuple(range(segment.base_vpn, segment.end_vpn)),
         )
 
     def _private_group_for(self, domain: ProtectionDomain) -> int:
@@ -999,6 +1177,17 @@ class PageGroupOps(ModelOps):
             lambda system: int(system.tlb.update(vpn, rights=rights)),
         )
 
+    def set_rights_all_pages(self, vpns: tuple[int, ...], rights: Rights) -> None:
+        # Still one entry per page — but one *message* per CPU for the
+        # whole batch, its sweep rewriting every resident entry at once.
+        for vpn in vpns:
+            self.kernel.group_table.set_rights(vpn, rights)
+        self.kernel.bus.shootdown_range(
+            "set_rights_all",
+            vpns,
+            lambda pages: lambda system: system.tlb.update_pages(pages, rights=rights),
+        )
+
     def set_segment_rights(
         self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
     ) -> None:
@@ -1021,6 +1210,10 @@ class PageGroupOps(ModelOps):
 
     def invalidate_translation_on(self, system: PageGroupSystem, vpn: int) -> int:
         return int(system.tlb.invalidate(vpn))
+
+    def invalidate_translations_on(self, system: PageGroupSystem, vpns) -> int:
+        # One associative pass drops every resident entry of the batch.
+        return system.tlb.invalidate_pages(vpns)
 
     def rebuild_protection(self, pd_id: int | None = None) -> None:
         # The AID-tagged TLB refills from the group table via
@@ -1069,6 +1262,7 @@ class ConventionalOps(ModelOps):
         self.kernel.bus.shootdown(
             "detach",
             lambda system: system.tlb.invalidate_domain_range(asid, lo, hi)[1],
+            pages=tuple(range(lo, hi)),
         )
 
     def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
@@ -1099,6 +1293,36 @@ class ConventionalOps(ModelOps):
                 ),
             )
 
+    def set_rights_all_pages(self, vpns: tuple[int, ...], rights: Rights) -> None:
+        # Batching collapses the page factor, never the domain factor:
+        # each sharing domain still needs its own shootdown (its replicas
+        # are tagged with its ASID), so the verb costs D messages per CPU
+        # where the SASOS models send one — §4.1.3's ordering survives
+        # range shootdowns intact.
+        by_domain: dict[int, list[int]] = {}
+        domains: dict[int, ProtectionDomain] = {}
+        for vpn in vpns:
+            segment = self.kernel.segment_at(vpn)
+            if segment is None:
+                continue
+            for domain in self.kernel.attached_domains(segment):
+                by_domain.setdefault(domain.pd_id, []).append(vpn)
+                domains[domain.pd_id] = domain
+        for pd_id, domain_vpns in by_domain.items():
+            domain = domains[pd_id]
+            mirror = self._mirror(domain)
+            for vpn in domain_vpns:
+                domain.page_overrides[vpn] = rights
+            mirror.set_rights_many(domain_vpns, rights)
+            asid = self._asid(domain)
+            self.kernel.bus.shootdown_range(
+                "set_rights_all",
+                domain_vpns,
+                lambda pages, asid=asid: lambda system: system.tlb.update_rights_pages(
+                    asid, pages, rights
+                ),
+            )
+
     def set_segment_rights(
         self, domain: ProtectionDomain, segment: VirtualSegment, rights: Rights
     ) -> None:
@@ -1111,11 +1335,16 @@ class ConventionalOps(ModelOps):
         self.kernel.bus.shootdown(
             "set_segment_rights",
             lambda system: system.tlb.invalidate_domain_range(asid, lo, hi)[1],
+            pages=tuple(range(lo, hi)),
         )
 
     def invalidate_translation_on(self, system: ConventionalSystem, vpn: int) -> int:
         # Every domain's replica must go (§3.1's coherence burden).
         return system.tlb.invalidate_page(vpn)[1]
+
+    def invalidate_translations_on(self, system: ConventionalSystem, vpns) -> int:
+        # One sweep removes every domain's replicas of the whole batch.
+        return system.tlb.invalidate_pages(vpns)[1]
 
     def rebuild_protection(self, pd_id: int | None = None) -> None:
         # The combined TLB refills from the linear-table mirrors, so the

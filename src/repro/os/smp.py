@@ -77,7 +77,7 @@ class ShootdownMessage:
     fire them several workload ops after they were sent).
     """
 
-    __slots__ = ("kind", "verb", "cpu", "remote", "_action", "_kernel")
+    __slots__ = ("kind", "verb", "cpu", "remote", "pages", "_action", "_kernel")
 
     def __init__(
         self,
@@ -88,11 +88,17 @@ class ShootdownMessage:
         action: Callable[[MemorySystem], int],
         *,
         remote: bool,
+        pages: tuple[int, ...] | None = None,
     ) -> None:
         self.kind = kind
         self.verb = verb
         self.cpu = cpu
         self.remote = remote
+        #: The VPN set a batched (range) message covers, or ``None`` for
+        #: a classic single-invalidation message.  The action already
+        #: closes over the set; this is carried for observability and so
+        #: the fault injector intercepts the batch as one unit.
+        self.pages = pages
         self._action = action
         self._kernel = kernel
 
@@ -109,7 +115,8 @@ class ShootdownMessage:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = f"cpu {self.cpu}" + (" (remote)" if self.remote else "")
-        return f"ShootdownMessage({self.verb}, {self.kind}, {where})"
+        span = f", {len(self.pages)} pages" if self.pages is not None else ""
+        return f"ShootdownMessage({self.verb}, {self.kind}, {where}{span})"
 
 
 class ShootdownBus:
@@ -127,6 +134,11 @@ class ShootdownBus:
         self.kernel = kernel
         #: Injector hook: ``fn(message) -> bool`` (True = intercepted).
         self.hook: Callable[[ShootdownMessage], bool] | None = None
+        #: When True (the default), :meth:`shootdown_range` coalesces a
+        #: multi-page verb into one message per target CPU.  When False
+        #: it degenerates to the legacy one-message-per-page loop — the
+        #: ``--no-batch`` A/B measurement path.
+        self.batch = True
 
     def shootdown(
         self,
@@ -136,6 +148,7 @@ class ShootdownBus:
         kind: str = PROTECTION,
         predicate: Callable[[CpuContext], bool] | None = None,
         include_local: bool = True,
+        pages: tuple[int, ...] | None = None,
     ) -> None:
         """Apply ``action`` locally, then broadcast it to remote CPUs.
 
@@ -145,13 +158,18 @@ class ShootdownBus:
         where it holds (e.g. holder drops only reach CPUs running the
         revoked domain).  ``include_local=False`` broadcasts to remotes
         only (used when the verb already did the local work itself).
+        ``pages`` annotates range verbs whose single action already
+        covers a page span (detach, segment rights sweeps) — it changes
+        no accounting, only what the message carries.
         """
         kernel = self.kernel
         cpus = kernel.cpus
         local_id = kernel.current_cpu
         if include_local and (predicate is None or predicate(cpus[local_id])):
             self._deliver(
-                ShootdownMessage(kernel, kind, verb, local_id, action, remote=False)
+                ShootdownMessage(
+                    kernel, kind, verb, local_id, action, remote=False, pages=pages
+                )
             )
         if len(cpus) == 1:
             return
@@ -165,7 +183,77 @@ class ShootdownBus:
             stats.inc(f"{prefix}.msgs")
             stats.inc(f"{prefix}.verb.{verb}")
             self._deliver(
-                ShootdownMessage(kernel, kind, verb, ctx.cpu_id, action, remote=True)
+                ShootdownMessage(
+                    kernel, kind, verb, ctx.cpu_id, action, remote=True, pages=pages
+                )
+            )
+
+    def shootdown_range(
+        self,
+        verb: str,
+        pages,
+        action_factory: Callable[[tuple[int, ...]], Callable[[MemorySystem], int]],
+        *,
+        kind: str = PROTECTION,
+        predicate: Callable[[CpuContext], bool] | None = None,
+        include_local: bool = True,
+    ) -> None:
+        """Coalesce a multi-page verb into ONE message per target CPU.
+
+        ``action_factory(pages) -> action`` builds the invalidation that
+        applies a whole VPN batch to one CPU's hardware in a single
+        sweep (the per-model range fast paths in ``core/plb.py``,
+        ``hardware/tlb.py`` etc.).  Each eligible remote CPU receives one
+        message carrying the full page set — so a K-page verb costs one
+        IPI, not K — and, because a message fires once, the target's
+        mutation epoch bumps once per batch.  The injector intercepts
+        the batch as a unit: a drop loses the whole batch, a delay
+        replays it atomically.
+
+        With ``bus.batch`` False this degenerates to the legacy per-page
+        loop (one classic :meth:`shootdown` per page, identical legacy
+        accounting) — the ``--no-batch`` comparison path.
+        """
+        pages = tuple(pages)
+        if not pages:
+            return
+        if not self.batch:
+            for vpn in pages:
+                self.shootdown(
+                    verb,
+                    action_factory((vpn,)),
+                    kind=kind,
+                    predicate=predicate,
+                    include_local=include_local,
+                )
+            return
+        kernel = self.kernel
+        cpus = kernel.cpus
+        local_id = kernel.current_cpu
+        action = action_factory(pages)
+        if include_local and (predicate is None or predicate(cpus[local_id])):
+            self._deliver(
+                ShootdownMessage(
+                    kernel, kind, verb, local_id, action, remote=False, pages=pages
+                )
+            )
+        if len(cpus) == 1:
+            return
+        stats = kernel.stats
+        prefix = "smp.shootdown" if kind == PROTECTION else "smp.tlb_shootdown"
+        for ctx in cpus:
+            if ctx.cpu_id == local_id:
+                continue
+            if predicate is not None and not predicate(ctx):
+                continue
+            stats.inc(f"{prefix}.msgs")
+            stats.inc(f"{prefix}.verb.{verb}")
+            stats.inc(f"{prefix}.batches")
+            stats.inc(f"{prefix}.batched_entries", len(pages))
+            self._deliver(
+                ShootdownMessage(
+                    kernel, kind, verb, ctx.cpu_id, action, remote=True, pages=pages
+                )
             )
 
     def broadcast_remote(

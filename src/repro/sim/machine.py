@@ -603,3 +603,60 @@ class SMPMachine:
                     still_live.append(idx)
             live = still_live
         return kernel.merged_stats().delta(before)
+
+    def run_affine(
+        self,
+        tasks: Sequence[tuple[ProtectionDomain, Iterable[TraceOp]]],
+        *,
+        scheduler,
+        quantum: int | None = None,
+    ) -> Stats:
+        """Interleave per-domain traces placed by an affinity scheduler.
+
+        Where :meth:`run` pins shard *k* to CPU *k*, here the scheduler
+        owns placement: each quantum, every CPU asks its
+        :class:`~repro.os.scheduler.AffinityScheduler` which of its
+        *placed* domains runs next (charging the model's switch cost),
+        then replays one quantum of that domain's trace on that CPU's
+        hardware.  Several domains may share a CPU; a migration between
+        quanta moves a domain's remaining trace to its new CPU.  The
+        interleaving is deterministic: CPUs round-robin in id order,
+        each rotating its own queue.
+        """
+        kernel = self.kernel
+        quantum = self.quantum if quantum is None else quantum
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        before = kernel.merged_stats()
+        streams = {}
+        for domain, trace in tasks:
+            if domain.pd_id in streams:
+                raise ValueError(f"duplicate task for {domain.name}")
+            streams[domain.pd_id] = iter(trace)
+        remaining = set(streams)
+        while remaining:
+            progressed = False
+            for cpu_id in range(kernel.n_cpus):
+                pick = None
+                for _ in range(len(scheduler.domains_on(cpu_id))):
+                    domain = scheduler.next_on(cpu_id)
+                    if domain is not None and domain.pd_id in remaining:
+                        pick = domain
+                        break
+                if pick is None:
+                    continue
+                machine = self.machines[cpu_id]
+                stream = streams[pick.pd_id]
+                for _ in range(quantum):
+                    op = next(stream, None)
+                    if op is None:
+                        remaining.discard(pick.pd_id)
+                        break
+                    machine.step(op)
+                progressed = True
+            if not progressed:
+                # Every remaining domain is placed on a CPU whose queue
+                # never surfaces it (cannot happen with a well-formed
+                # scheduler); bail rather than spin.
+                break
+        return kernel.merged_stats().delta(before)

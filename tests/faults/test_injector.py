@@ -149,3 +149,52 @@ class TestShootdownSite:
         assert repairs >= 1
         with pytest.raises(SegmentationViolation):
             machine.write(domain, vaddr)
+
+
+class TestShootdownBatchStream:
+    """Range shootdowns occupy ONE index in the injector's shootdown
+    stream per target CPU — a batch is a single interception unit."""
+
+    def staged_smp(self, n_cpus: int = 3):
+        from repro.core.rights import AccessType
+        from repro.sim.machine import SMPMachine
+
+        kernel = Kernel("plb", n_frames=64, n_cpus=n_cpus)
+        domain = kernel.create_domain("app")
+        segment = kernel.create_segment("data", 4)
+        kernel.attach(domain, segment, Rights.RW)
+        smp = SMPMachine(kernel)
+        for cpu in range(n_cpus):
+            for vpn in segment.vpns():
+                smp.touch_on(cpu, domain, kernel.params.vaddr(vpn),
+                             AccessType.WRITE)
+        kernel.set_current_cpu(0)
+        return kernel, domain, segment, smp
+
+    def test_batch_counts_once_per_cpu_in_the_fault_stream(self):
+        kernel, domain, segment, _smp = self.staged_smp()
+        injector = FaultInjector(FaultPlan(events=()))
+        injector.arm(kernel)
+        kernel.set_pages_rights_all_domains(list(segment.vpns()), Rights.READ)
+        injector.disarm()
+        # 1 local + 2 remote batch messages: 3 stream slots, not 12
+        # per-page slots — plan indices address whole batches.
+        assert injector._invalidations == 3
+
+    def test_drop_arg_one_loses_exactly_one_cpus_batch(self):
+        from repro.core.rights import AccessType
+
+        kernel, domain, segment, smp = self.staged_smp()
+        # Index 0 is the local delivery; index 1 is CPU 1's batch.
+        injector = FaultInjector(FaultPlan(
+            events=(FaultEvent("shootdown", "drop", at=1, arg=1),)
+        ))
+        injector.arm(kernel)
+        kernel.set_pages_rights_all_domains(list(segment.vpns()), Rights.READ)
+        injector.disarm()
+        vaddr = kernel.params.vaddr(segment.base_vpn)
+        # CPU 1 lost its whole batch and still grants write; CPU 2's
+        # batch (stream index 2) was delivered and revokes.
+        assert not smp.touch_on(1, domain, vaddr, AccessType.WRITE).faulted
+        with pytest.raises(SegmentationViolation):
+            smp.touch_on(2, domain, vaddr, AccessType.WRITE)

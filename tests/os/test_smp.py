@@ -203,3 +203,169 @@ class TestTranslationNeverIntercepted:
         assert Scrubber(kernel).scrub() >= 1
         with pytest.raises(SegmentationViolation):
             smp.touch_on(1, domain, vaddr, AccessType.WRITE)
+
+
+class TestBatchedRangeShootdowns:
+    """A K-page verb coalesces to ONE bus message per remote CPU."""
+
+    def warm(self, kernel, domain, segment):
+        smp = SMPMachine(kernel)
+        for cpu in range(len(kernel.cpus)):
+            for vpn in segment.vpns():
+                smp.touch_on(cpu, domain, kernel.params.vaddr(vpn),
+                             AccessType.WRITE)
+        kernel.set_current_cpu(0)
+        return smp
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_one_message_per_remote_cpu_not_per_page(self, model):
+        kernel = Kernel(model, n_frames=64, n_cpus=4)
+        domain, segment = shared_setup(kernel)
+        self.warm(kernel, domain, segment)
+        before = kernel.stats.snapshot()
+        kernel.set_pages_rights_all_domains(list(segment.vpns()), Rights.READ)
+        delta = kernel.stats.delta(before)
+        # 4 pages, 4 CPUs, 1 sharing domain: 3 messages, not 12.
+        assert delta["smp.shootdown.msgs"] == 3
+        assert delta["smp.shootdown.batches"] == 3
+        assert delta["smp.shootdown.batched_entries"] == 12
+
+    def test_no_batch_degenerates_to_the_per_page_loop(self):
+        kernel = Kernel("plb", n_frames=64, n_cpus=4)
+        domain, segment = shared_setup(kernel)
+        self.warm(kernel, domain, segment)
+        kernel.bus.batch = False
+        before = kernel.stats.snapshot()
+        kernel.set_pages_rights_all_domains(list(segment.vpns()), Rights.READ)
+        delta = kernel.stats.delta(before)
+        assert delta["smp.shootdown.msgs"] == 12
+        assert delta["smp.shootdown.batches"] == 0
+        assert delta["smp.shootdown.batched_entries"] == 0
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_batched_revocation_is_enforced_on_remote_cpus(self, model):
+        kernel = Kernel(model, n_frames=64, n_cpus=3)
+        domain, segment = shared_setup(kernel)
+        smp = self.warm(kernel, domain, segment)
+        kernel.set_pages_rights_all_domains(list(segment.vpns()), Rights.READ)
+        for cpu in range(3):
+            for vpn in segment.vpns():
+                vaddr = kernel.params.vaddr(vpn)
+                assert not smp.touch_on(cpu, domain, vaddr).faulted
+                with pytest.raises(SegmentationViolation):
+                    smp.touch_on(cpu, domain, vaddr, AccessType.WRITE)
+
+    def test_single_cpu_emits_no_smp_counters(self):
+        kernel = Kernel("plb", n_frames=64, n_cpus=1)
+        domain, segment = shared_setup(kernel)
+        machine = Machine(kernel)
+        for vpn in segment.vpns():
+            machine.write(domain, kernel.params.vaddr(vpn))
+        before = kernel.stats.snapshot()
+        kernel.set_pages_rights_all_domains(list(segment.vpns()), Rights.READ)
+        kernel.unmap_pages(list(segment.vpns())[:2])
+        delta = kernel.stats.delta(before)
+        assert not [name for name in delta.as_dict() if name.startswith("smp.")]
+
+    def test_predicate_filters_batch_delivery_per_cpu(self):
+        """A predicate-gated range shootdown reaches only matching CPUs."""
+        kernel = Kernel("plb", n_frames=64, n_cpus=3)
+        domain, segment = shared_setup(kernel)
+        self.warm(kernel, domain, segment)
+        fired: list[int] = []
+        pages = tuple(segment.vpns())
+        kernel.bus.shootdown_range(
+            "probe", pages,
+            lambda vpns: lambda system: fired.append(len(vpns)) or 0,
+            predicate=lambda ctx: ctx.cpu_id == 1,
+            include_local=False,
+        )
+        # Exactly one delivery (CPU 1), carrying the whole page set.
+        assert fired == [len(pages)]
+        assert kernel.stats["smp.shootdown.msgs"] == 1
+        assert kernel.stats["smp.shootdown.batches"] == 1
+
+    def test_unmap_pages_batches_on_the_translation_channel(self):
+        kernel = Kernel("plb", n_frames=64, n_cpus=4)
+        domain, segment = shared_setup(kernel)
+        self.warm(kernel, domain, segment)
+        before = kernel.stats.snapshot()
+        kernel.unmap_pages(list(segment.vpns()))
+        delta = kernel.stats.delta(before)
+        assert delta["smp.tlb_shootdown.msgs"] == 3
+        assert delta["smp.tlb_shootdown.batches"] == 3
+        assert delta["smp.shootdown.batches"] == 0
+
+
+class TestInjectorBatchContract:
+    """The injector intercepts a range shootdown as ONE atomic unit."""
+
+    def staged(self, n_cpus: int = 2):
+        kernel = smp_kernel("plb", n_cpus=n_cpus)
+        domain, segment = shared_setup(kernel)
+        smp = SMPMachine(kernel)
+        for cpu in range(n_cpus):
+            for vpn in segment.vpns():
+                smp.touch_on(cpu, domain, kernel.params.vaddr(vpn),
+                             AccessType.WRITE)
+        kernel.set_current_cpu(0)
+        return kernel, domain, segment, smp
+
+    def writable_pages(self, smp, kernel, domain, segment, cpu) -> int:
+        count = 0
+        for vpn in segment.vpns():
+            try:
+                smp.touch_on(cpu, domain, kernel.params.vaddr(vpn),
+                             AccessType.WRITE)
+                count += 1
+            except SegmentationViolation:
+                pass
+        return count
+
+    def test_delayed_batch_replays_atomically(self):
+        """A held range shootdown fires once, applying every page."""
+        kernel, domain, segment, smp = self.staged()
+        # Message stream: index 0 = local delivery, 1 = CPU 1's batch.
+        injector = FaultInjector(FaultPlan(
+            events=(FaultEvent("shootdown", "delay", at=1, arg=4),)
+        ))
+        injector.arm(kernel)
+        injector.tick(0)
+        kernel.set_current_cpu(0)
+        kernel.set_pages_rights_all_domains(list(segment.vpns()), Rights.READ)
+        # The whole batch is in flight: CPU 1 still grants write on
+        # EVERY page (no partially-applied batch), CPU 0 on none.
+        assert self.writable_pages(smp, kernel, domain, segment, 1) == 4
+        assert self.writable_pages(smp, kernel, domain, segment, 0) == 0
+        injector.tick(10)  # past fire_at: the batch replays, once
+        assert self.writable_pages(smp, kernel, domain, segment, 1) == 0
+        injector.disarm()
+
+    def test_dropped_batch_repaired_by_one_scrub_pass(self):
+        from repro.faults.scrub import Scrubber
+
+        kernel, domain, segment, smp = self.staged()
+        injector = FaultInjector(FaultPlan(
+            events=(FaultEvent("shootdown", "drop", at=1, arg=1),)
+        ))
+        injector.arm(kernel)
+        kernel.set_current_cpu(0)
+        kernel.set_pages_rights_all_domains(list(segment.vpns()), Rights.READ)
+        assert self.writable_pages(smp, kernel, domain, segment, 1) == 4
+        injector.disarm()
+        # One scrubber pass audits every CPU against authority and
+        # repairs the whole lost batch.
+        assert Scrubber(kernel).scrub() >= 1
+        assert self.writable_pages(smp, kernel, domain, segment, 1) == 0
+
+    def test_delayed_batch_fires_on_disarm_flush(self):
+        kernel, domain, segment, smp = self.staged()
+        injector = FaultInjector(FaultPlan(
+            events=(FaultEvent("shootdown", "delay", at=1, arg=50),)
+        ))
+        injector.arm(kernel)
+        kernel.set_current_cpu(0)
+        kernel.set_pages_rights_all_domains(list(segment.vpns()), Rights.READ)
+        assert self.writable_pages(smp, kernel, domain, segment, 1) == 4
+        injector.disarm()  # flush_delayed replays the held batch
+        assert self.writable_pages(smp, kernel, domain, segment, 1) == 0

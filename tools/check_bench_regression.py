@@ -16,6 +16,15 @@ so the baseline is exact: any drift at all is a real behavior change,
 and growth beyond the threshold fails the build.  Improvements
 (shrinking cycles) never fail, but rebaseline so the guard keeps teeth.
 
+``--shootdown`` switches to the batched-shootdown guard: it runs the
+group-verb workload (``repro.analysis.consistency.measure_batched``) at
+8 CPUs for every model and demands the batched message/entry counters
+match the committed baseline *exactly* — the workload is deterministic,
+so any drift means the range-shootdown coalescing changed behavior.  An
+absolute floor is enforced independently of the baseline: batched
+messages must stay at least 4x below the legacy per-page count, and the
+batched/legacy differential end-state check must pass.
+
 ``--throughput`` switches to the replay-speed guard instead: it times
 the hot-replay workload (ARCHITECTURE.md §9) at all three replay rungs
 — full walk, per-hit recipe (``fuse_runs=False``, the PR-4 fast path)
@@ -44,6 +53,14 @@ THRESHOLD = 0.10
 
 THROUGHPUT_BASELINE = REPO / "benchmarks" / "baselines" / "replay_throughput.json"
 THROUGHPUT_THRESHOLD = 0.25
+
+SHOOTDOWN_BASELINE = REPO / "benchmarks" / "baselines" / "shootdown_batched.json"
+#: Exact equality: the group-verb workload is fully deterministic.
+SHOOTDOWN_THRESHOLD = 0.0
+#: Batched messages must beat the legacy per-page count by at least
+#: this factor, baseline or no baseline (the ISSUE's acceptance floor).
+SHOOTDOWN_REDUCTION_FLOOR = 4.0
+SHOOTDOWN_CPUS = 8
 #: Hot working set (2 pages resident in the default dcache) and enough
 #: references that the memo warmup is amortized.
 THROUGHPUT_PAGES = 2
@@ -193,6 +210,76 @@ def check_throughput(current: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def measure_shootdown() -> dict[str, dict]:
+    """Batched shootdown counters per model at 8 CPUs, plus verdicts.
+
+    Returns ``{model: {"msgs": ..., "entries": ..., "legacy_msgs": ...,
+    "reduction": ..., "end_state_ok": ..., "per_verb": {verb: [msgs,
+    entries]}}}``.  Everything here is deterministic, so the committed
+    baseline can be checked for exact equality.
+    """
+    from repro.analysis.consistency import measure_batched
+    from repro.os.kernel import MODELS
+
+    results: dict[str, dict] = {}
+    for model in MODELS:
+        result = measure_batched(model, n_cpus=SHOOTDOWN_CPUS)
+        batched_msgs, legacy_msgs = result.workload_msgs
+        results[model] = {
+            "msgs": batched_msgs,
+            "entries": sum(c.entries for c in result.batched.values()),
+            "legacy_msgs": legacy_msgs,
+            "reduction": round(legacy_msgs / batched_msgs, 2),
+            "end_state_ok": result.end_state_ok,
+            "per_verb": {
+                verb: [cost.msgs, cost.entries]
+                for verb, cost in sorted(result.batched.items())
+            },
+        }
+    return results
+
+
+def check_shootdown(current: dict, baseline: dict) -> list[str]:
+    """Exact-match every pinned shootdown cell; enforce the floors.
+
+    The floors (>= 4x message reduction, clean differential end state)
+    bind regardless of what the baseline says — a baseline refreshed on
+    a bad build cannot talk the guard out of them.
+    """
+    failures = []
+    pinned = ("msgs", "entries", "legacy_msgs", "per_verb")
+    for model, cell in baseline.items():
+        if not isinstance(cell, dict):
+            failures.append(
+                f"{model}: malformed baseline cell {cell!r} "
+                "(expected a counter mapping)"
+            )
+            continue
+        now = current.get(model)
+        if now is None:
+            failures.append(f"{model}: missing from current run")
+            continue
+        for key in pinned:
+            if key not in cell:
+                failures.append(f"{model}: baseline is missing {key!r}")
+            elif now[key] != cell[key]:
+                failures.append(
+                    f"{model}: {key} {cell[key]!r} -> {now[key]!r} "
+                    "(deterministic counter drifted)"
+                )
+    for model, now in current.items():
+        if not now["end_state_ok"]:
+            failures.append(
+                f"{model}: batched/legacy differential end-state check FAILED"
+            )
+        if now["reduction"] < SHOOTDOWN_REDUCTION_FLOOR:
+            failures.append(
+                f"{model}: message reduction {now['reduction']:.1f}x below "
+                f"the {SHOOTDOWN_REDUCTION_FLOOR:.0f}x floor"
+            )
+    return failures
+
+
 def check(current: dict, baseline: dict) -> list[str]:
     """Return one failure line per regressed, missing, or malformed cell.
 
@@ -240,9 +327,19 @@ def main(argv=None) -> int:
         "--throughput", action="store_true",
         help="guard replay fast-path speedup instead of Table 1 cycles",
     )
+    parser.add_argument(
+        "--shootdown", action="store_true",
+        help="guard batched range-shootdown counters (exact equality) "
+        "instead of Table 1 cycles",
+    )
     parser.add_argument("--baseline", default=None)
     args = parser.parse_args(argv)
-    if args.throughput:
+    if args.shootdown:
+        default_path, key, measurer, checker, threshold = (
+            SHOOTDOWN_BASELINE, "shootdown", measure_shootdown,
+            check_shootdown, SHOOTDOWN_THRESHOLD,
+        )
+    elif args.throughput:
         default_path, key, measurer, checker, threshold = (
             THROUGHPUT_BASELINE, "throughput", measure_throughput,
             check_throughput, THROUGHPUT_THRESHOLD,
@@ -285,6 +382,24 @@ def main(argv=None) -> int:
 
     current = measurer()
     failures = checker(current, baseline)
+    if args.shootdown:
+        if failures:
+            print(f"shootdown regression: {len(failures)} check(s) failed:")
+            for line in failures:
+                print("  " + line)
+            return 1
+        for model in sorted(current):
+            cell = current[model]
+            print(
+                f"shootdown: {model}: {cell['msgs']} batched msgs "
+                f"(legacy {cell['legacy_msgs']}, {cell['reduction']:.1f}x "
+                f"reduction), {cell['entries']} entries, end-state OK"
+            )
+        print(
+            f"shootdown regression: all {len(baseline)} models match the "
+            f"pinned counters exactly (floor {SHOOTDOWN_REDUCTION_FLOOR:.0f}x)"
+        )
+        return 0
     if args.throughput:
         if failures:
             print(f"throughput regression: {len(failures)} of "
