@@ -30,7 +30,7 @@ from typing import Sequence
 from repro.analysis.report import format_table
 from repro.check.invariants import check_invariants
 from repro.core.costs import DEFAULT_COSTS
-from repro.core.rights import Rights
+from repro.core.rights import AccessType, Rights
 from repro.os.kernel import MODELS, Kernel
 from repro.sim.machine import SMPMachine
 
@@ -433,4 +433,180 @@ def batched_table(
         for model, result in results.items():
             for problem in result.problems:
                 lines.append(f"end-state check: FAIL [{model}] {problem}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Cluster × SMP: the N nodes × M CPUs composition matrix
+
+
+@dataclass(frozen=True)
+class ClusterSMPCost:
+    """Cost of one K-page DSM Get-Writable at N nodes × M CPUs.
+
+    ``wire_msgs`` counts interconnect messages (requests and replies);
+    ``holders`` is how many remote nodes had to give up copies, each
+    served by ONE ``invalidate_range`` wire message.  ``ipi_msgs`` /
+    ``ipi_batches`` count the node-local shootdown fan-out summed over
+    every node: when every IPI is a batch, each node applied its whole
+    invalidation as one batched range shootdown per remote CPU — never
+    as K per-page messages.
+    """
+
+    nodes: int
+    cpus: int
+    pages: int
+    wire_msgs: int
+    holders: int
+    ipi_msgs: int
+    ipi_batches: int
+
+    @property
+    def fanout_batched(self) -> bool:
+        """True when every node-local IPI carried the whole page batch."""
+        return self.ipi_msgs == self.ipi_batches
+
+    def render(self) -> str:
+        return f"{self.wire_msgs} / {self.ipi_msgs} / {self.ipi_batches}"
+
+
+def measure_cluster_smp(
+    model: str,
+    *,
+    nodes: int = 4,
+    cpus: int = 4,
+    pages: int = 8,
+    k_pages: int = 6,
+) -> ClusterSMPCost:
+    """Measure a K-page DSM invalidation across the node×CPU composition.
+
+    Every non-owner node first acquires read copies of the K pages (so
+    each holds state to invalidate) and warms every CPU's protection
+    hardware over them; node 0 then performs one ``get_writable_range``.
+    The measured deltas answer the layered consistency question: how
+    many interconnect messages, and how many node-local IPIs, did one
+    multi-page rights change cost?
+
+    ``nodes=1`` is the degenerate single-machine case: no interconnect,
+    just the batched range verb on one SMP kernel (the same verb the
+    DSM invalidation rides).
+    """
+    if k_pages > pages:
+        raise ValueError(f"k_pages ({k_pages}) cannot exceed pages ({pages})")
+    if nodes == 1:
+        kernel = Kernel(model, n_frames=256, n_cpus=cpus, n_shards=cpus)
+        smp = SMPMachine(kernel)
+        domain = kernel.create_domain("app")
+        shared = kernel.create_segment("shared", pages)
+        kernel.attach(domain, shared, Rights.RW)
+        vpns = list(shared.vpns())[:k_pages]
+        for cpu in range(cpus):
+            for vpn in shared.vpns():
+                smp.touch_on(cpu, domain, kernel.params.vaddr(vpn))
+        kernel.set_current_cpu(0)
+        before = kernel.merged_stats()
+        kernel.set_pages_rights(domain, vpns, Rights.READ)
+        delta = kernel.merged_stats().delta(before)
+        return ClusterSMPCost(
+            nodes=1,
+            cpus=cpus,
+            pages=k_pages,
+            wire_msgs=0,
+            holders=0,
+            ipi_msgs=delta["smp.shootdown.msgs"] + delta["smp.tlb_shootdown.msgs"],
+            ipi_batches=(
+                delta["smp.shootdown.batches"] + delta["smp.tlb_shootdown.batches"]
+            ),
+        )
+
+    from repro.cluster.dsm import ClusterDSM
+
+    cluster = ClusterDSM(model, nodes=nodes, pages=pages, n_cpus=cpus)
+    vpns = cluster.vpns[:k_pages]
+    for nid in sorted(cluster.nodes):
+        if nid == 0:
+            continue
+        for vpn in vpns:
+            cluster.get_readable(cluster.nodes[nid], vpn)
+    # Warm every CPU of every holder so each CPU's protection caches
+    # hold entries the invalidation must reach.
+    for nid, node in sorted(cluster.nodes.items()):
+        for cpu in range(node.kernel.n_cpus):
+            for vpn in vpns:
+                node.smp.touch_on(
+                    cpu, node.domain, cluster.params.vaddr(vpn), AccessType.READ
+                )
+        node.kernel.set_current_cpu(0)
+    before = cluster.merged_stats()
+    cluster.get_writable_range(cluster.nodes[0], vpns)
+    delta = cluster.merged_stats().delta(before)
+    return ClusterSMPCost(
+        nodes=nodes,
+        cpus=cpus,
+        pages=k_pages,
+        wire_msgs=delta["cluster.msg.sent"],
+        holders=nodes - 1,
+        ipi_msgs=delta["smp.shootdown.msgs"] + delta["smp.tlb_shootdown.msgs"],
+        ipi_batches=(
+            delta["smp.shootdown.batches"] + delta["smp.tlb_shootdown.batches"]
+        ),
+    )
+
+
+def cluster_smp_table(
+    models: Sequence[str] = MODELS,
+    *,
+    nodes_axis: Sequence[int] = (1, 2, 4),
+    cpus_axis: Sequence[int] = (1, 2, 4),
+    pages: int = 8,
+    k_pages: int = 6,
+) -> str:
+    """The N×M composition matrix, rendered with greppable footer lines.
+
+    Each cell reads ``wire / IPIs / batches`` for one K-page DSM
+    invalidation at that node×CPU point.  The footer states, per model,
+    whether the fan-out contract held at the largest point: one
+    interconnect message per holder node, and every node-local IPI a
+    single batched range shootdown (``IPIs == batches``).
+    """
+    results: dict[str, dict[tuple[int, int], ClusterSMPCost]] = {}
+    for model in models:
+        cells = {}
+        for n in nodes_axis:
+            for m in cpus_axis:
+                cells[(n, m)] = measure_cluster_smp(
+                    model, nodes=n, cpus=m, pages=pages, k_pages=k_pages
+                )
+        results[model] = cells
+    headers = ["nodes x cpus"] + list(models)
+    rows = []
+    for n in nodes_axis:
+        for m in cpus_axis:
+            rows.append(
+                [f"{n} x {m}"]
+                + [results[model][(n, m)].render() for model in models]
+            )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            f"Cluster x SMP consistency: wire msgs / node-local IPIs / "
+            f"batched shootdowns per {k_pages}-page DSM invalidation"
+        ),
+    )
+    lines = [table, ""]
+    top = (max(nodes_axis), max(cpus_axis))
+    for model in models:
+        cost = results[model][top]
+        verdict = "OK" if cost.fanout_batched else "FAIL (per-page IPIs seen)"
+        lines.append(
+            f"cluster-smp model={model} nodes={top[0]} cpus={top[1]}: "
+            f"wire_msgs={cost.wire_msgs} holders={cost.holders} "
+            f"ipi_msgs={cost.ipi_msgs} ipi_batches={cost.ipi_batches} "
+            f"fanout={verdict}"
+        )
+    lines.append(
+        "contract: 1 invalidate_range wire message per holder node; each "
+        "node applies it as one batched range shootdown per remote CPU."
+    )
     return "\n".join(lines)

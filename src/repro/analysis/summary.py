@@ -134,6 +134,36 @@ def smp_batch_counter_lines(stats_by_model) -> list[str]:
     return lines
 
 
+#: Authority-sharding and cluster/SMP composition counters.  Nonzero
+#: only when the Authority actually runs sharded (n_shards > 1) or a
+#: multi-CPU cluster node applies a batched DSM invalidation, so the
+#: default non-sharded output stays byte-identical.
+SHARD_COUNTERS = (
+    "authority.shard.mutations",
+    "authority.shard.local",
+    "authority.shard.cross",
+    "cluster.smp.invalidate_batches",
+    "cluster.smp.invalidate_pages",
+)
+
+
+def shard_counter_lines(stats_by_model) -> list[str]:
+    """Authority-shard counter lines — empty on non-sharded runs."""
+    totals = {
+        model: {name: stats.get(name, 0) for name in SHARD_COUNTERS}
+        for model, stats in stats_by_model.items()
+    }
+    if not any(any(counts.values()) for counts in totals.values()):
+        return []
+    lines = ["authority shards:"]
+    for model, counts in totals.items():
+        ranked = ", ".join(
+            f"{name}={count}" for name, count in counts.items() if count
+        )
+        lines.append(f"  {model}: {ranked or '(none)'}")
+    return lines
+
+
 def hot_counter_lines(stats_by_model, n: int = 6) -> list[str]:
     """Lead-in lines naming each model's hottest counters.
 
@@ -168,7 +198,10 @@ def run_summary(
             recovery={
                 model: {
                     c: stats.get(c, 0)
-                    for c in RECOVERY_COUNTERS + SMP_BATCH_COUNTERS
+                    for c in (
+                        RECOVERY_COUNTERS + SMP_BATCH_COUNTERS
+                        + SHARD_COUNTERS
+                    )
                 }
                 for model, stats in result.stats_by_model.items()
             },
@@ -218,6 +251,11 @@ def render_summary(rows: list[SummaryRow], *, baseline: str = "plb") -> str:
     )
     if batched:
         footer += "\n" + "\n".join(batched)
+    sharded = shard_counter_lines(
+        {model: _DictStats(counts) for model, counts in recovery_totals.items()}
+    )
+    if sharded:
+        footer += "\n" + "\n".join(sharded)
     return table + "\n" + footer
 
 

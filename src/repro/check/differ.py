@@ -75,6 +75,7 @@ class DifferentialHarness:
         params: MachineParams = DEFAULT_PARAMS,
         n_frames: int = 256,
         invariant_every: int = 16,
+        n_shards: int = 1,
     ) -> None:
         self.models = tuple(models)
         self.params = params
@@ -87,6 +88,7 @@ class DifferentialHarness:
                 n_frames=n_frames,
                 params=params,
                 system_options=scenario.system_options(model),
+                n_shards=n_shards,
             )
             for model in self.models
         }
@@ -388,6 +390,7 @@ def run_check(
     n_ops: int = 250,
     invariant_every: int = 16,
     minimize: bool = True,
+    n_shards: int = 1,
 ) -> CheckRunResult:
     """Generate, replay and (on divergence) minimize one seed's stream."""
     spec = opmod.SCENARIOS[scenario_name]
@@ -395,7 +398,8 @@ def run_check(
 
     def factory() -> DifferentialHarness:
         return DifferentialHarness(
-            models, scenario=spec, invariant_every=invariant_every
+            models, scenario=spec, invariant_every=invariant_every,
+            n_shards=n_shards,
         )
 
     report = factory().run(ops)

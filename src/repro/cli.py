@@ -62,6 +62,7 @@ from repro.analysis.summary import (
     recovery_counter_lines,
     render_summary,
     run_summary,
+    shard_counter_lines,
     smp_batch_counter_lines,
 )
 from repro.analysis.table1 import (
@@ -277,6 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--model", default="plb", help="one of: " + ", ".join(MODELS))
     profile.add_argument(
         "--top", type=int, default=12, help="rows in the hotspot table"
+    )
+    profile.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="partition the Authority into K VPN-range home shards "
+        "(default 1: monolithic, byte-identical to pre-shard output)",
     )
 
     replay = sub.add_parser("replay", help="replay a saved reference trace")
@@ -606,6 +612,9 @@ def cmd_workload(name: str, models: Sequence[str], jobs: int = 1) -> str:
     batched = smp_batch_counter_lines(result.stats_by_model)
     if batched:
         lines.extend(batched)
+    sharded = shard_counter_lines(result.stats_by_model)
+    if sharded:
+        lines.extend(sharded)
     lines.append("")
     lines.append(result.render())
     if summary_rows and summary_rows[0][1:]:
@@ -861,7 +870,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_traced(name: str, model: str, *, sample_every: int = 1):
+def _run_traced(
+    name: str, model: str, *, sample_every: int = 1, n_shards: int = 1
+):
     """Build a kernel + workload, run it under a tracer, return the pieces.
 
     The root span wraps exactly the interval the returned delta covers,
@@ -888,7 +899,9 @@ def _run_traced(name: str, model: str, *, sample_every: int = 1):
         )
     if sample_every < 1:
         raise CLIError("--sample must be >= 1")
-    kernel = Kernel(model)
+    if n_shards < 1:
+        raise CLIError("--shards must be >= 1")
+    kernel = Kernel(model, n_shards=n_shards)
     workload = factories[name](kernel)
     metrics = Metrics(kernel.stats)
     tracer = Tracer(kernel.stats, sample_every=sample_every, metrics=metrics)
@@ -937,10 +950,12 @@ def cmd_trace(name: str, model: str, out: str, fmt: str, sample: int) -> str:
     )
 
 
-def cmd_profile(name: str, model: str, top: int) -> str:
+def cmd_profile(name: str, model: str, top: int, n_shards: int = 1) -> str:
     from repro.obs.metrics import attributed_cycles, hotspots
 
-    _, _, tracer, _, spans, delta = _run_traced(name, model)
+    _, _, tracer, _, spans, delta = _run_traced(
+        name, model, n_shards=n_shards
+    )
     rows = hotspots(spans)
     total = attributed_cycles(spans)
     table_rows = [
@@ -968,6 +983,9 @@ def cmd_profile(name: str, model: str, top: int) -> str:
     batched = smp_batch_counter_lines({model: delta})
     if batched:
         footer += "\n" + "\n".join(batched)
+    sharded = shard_counter_lines({model: delta})
+    if sharded:
+        footer += "\n" + "\n".join(sharded)
     return table + footer
 
 
@@ -1168,7 +1186,11 @@ def cmd_smp(
     batch: bool = True,
 ) -> int:
     """The §4.1.3 consistency table, plus an optional multi-CPU chaos smoke."""
-    from repro.analysis.consistency import batched_table, consistency_table
+    from repro.analysis.consistency import (
+        batched_table,
+        cluster_smp_table,
+        consistency_table,
+    )
 
     _validate_parallelism(cpus=cpus)
     if domains < 1:
@@ -1187,6 +1209,16 @@ def cmd_smp(
             print(report)
             if "end-state check: FAIL" in report:
                 return 1
+            # Single-node rows of the cluster x SMP matrix: range verbs
+            # cost zero wire messages but still fan out node-local IPIs.
+            print()
+            print(
+                cluster_smp_table(
+                    tuple(models),
+                    nodes_axis=(1,),
+                    cpus_axis=tuple(m for m in (1, 2, 4) if m <= cpus),
+                )
+            )
     except ValueError as error:
         raise CLIError(str(error))
     if plan_text is None:
@@ -1325,6 +1357,20 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             return 1
         return 0
 
+    from repro.analysis.consistency import cluster_smp_table
+
+    # The N x M consistency matrix: wire messages plus node-local IPIs
+    # for a multi-page DSM invalidation at every composed scale up to
+    # the requested --nodes/--cpus.
+    print(
+        cluster_smp_table(
+            tuple(args.models),
+            nodes_axis=tuple(n for n in (1, 2, 4) if n <= args.nodes),
+            cpus_axis=tuple(m for m in (1, 2, 4) if m <= args.cpus),
+        )
+    )
+    print()
+
     kinds = {
         "crash": ("node_crash",),
         "partition": ("partition",),
@@ -1459,7 +1505,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     elif args.command == "trace":
         print(cmd_trace(args.name, args.model, args.out, args.format, args.sample))
     elif args.command == "profile":
-        print(cmd_profile(args.name, args.model, args.top))
+        print(cmd_profile(args.name, args.model, args.top, args.shards))
     elif args.command == "replay":
         print(cmd_replay(args.trace, args.model, args.pages))
     elif args.command == "check":

@@ -262,7 +262,10 @@ def _drive(cluster, gold, seed, accesses, tick_every, psize) -> None:
             continue  # a dead machine runs nothing
         addr = cluster.params.vaddr(vpn)
         try:
-            node.machine.touch(node.domain, addr, access)
+            # Shard-home routing: the touch runs on the page's home CPU
+            # (CPU 0 always, on a single-CPU node), so M>1 sweeps
+            # exercise every CPU's protection caches.
+            node.touch_home(addr, access)
         except (SegmentationViolation, HardwareFault):
             # The access aborted (timeout mid-recovery etc.); by the
             # commit-phase-last rule it mutated nothing the oracle

@@ -89,6 +89,7 @@ class ClusterDSM:
         pages: int = 8,
         seed: int = 7,
         n_cpus: int = 1,
+        n_shards: int | None = None,
         lease_cycles: int = DEFAULT_LEASE_CYCLES,
         max_retries: int = 3,
         auto_rejoin: bool = False,
@@ -108,6 +109,14 @@ class ClusterDSM:
         self._kernel_options = dict(kernel_options)
         if n_cpus > 1:
             self._kernel_options["n_cpus"] = n_cpus
+        # Authority shards default to the CPU count so every CPU is the
+        # home of one VPN-range shard (the NUMA-style composition); a
+        # single-CPU node keeps the monolithic authority and its exact
+        # legacy counters.
+        if n_shards is None:
+            n_shards = n_cpus
+        if n_shards > 1:
+            self._kernel_options["n_shards"] = n_shards
         self.nodes: dict[int, ClusterNode] = {}
         self._n_boot = nodes
         for node_id in range(nodes):
@@ -257,9 +266,18 @@ class ClusterDSM:
             if kind == "invalidate_range":
                 # Idempotent, like single invalidate: every listed copy
                 # this node holds dies; one ack covers the whole set.
+                # The local application is ONE batched verb, so the one
+                # interconnect message fans out to the node's M CPUs as
+                # one range shootdown per remote CPU — never as
+                # len(vpns) per-page IPIs.
+                node._set_local_rights_range(msg.vpns, Rights.NONE)
                 for vpn in msg.vpns:
-                    node._set_local_rights(vpn, Rights.NONE)
                     self._valid[vpn].discard(nid)
+                if node.kernel.n_cpus > 1:
+                    node.stats.inc("cluster.smp.invalidate_batches")
+                    node.stats.inc(
+                        "cluster.smp.invalidate_pages", len(msg.vpns)
+                    )
                 return Message(
                     "invalidate_range_ack", src=nid, dst=msg.src,
                     vpns=msg.vpns,
@@ -731,7 +749,9 @@ class ClusterDSM:
                 entry.state = CopyState.EXCLUSIVE
                 entry.lease_until = self.net.clock + self.lease_cycles
                 self._valid[vpn] = {nid}
-                node._set_local_rights(vpn, Rights.RW)
+            # The local grant is ONE batched verb for the whole set (a
+            # single page keeps the legacy per-page path and counters).
+            node._set_local_rights_range(vpns, Rights.RW)
             return
         raise ClusterTimeoutError(
             f"get_writable_range({', '.join(f'{vpn:#x}' for vpn in vpns)}) "

@@ -43,7 +43,7 @@ from repro.core.rights import Rights
 from repro.faults.errors import MachineCheck
 from repro.hardware.registers import PIDEntry
 from repro.obs.tracer import NULL_TRACER
-from repro.os.authority import Authority
+from repro.os.authority import ShardedAuthority
 from repro.os.domain import ProtectionDomain
 from repro.os.segment import VirtualSegment
 from repro.os.smp import TRANSLATION, CpuContext, ShootdownBus
@@ -87,6 +87,9 @@ class Kernel:
             PLB/TLB/group holder/L1; rights changes reach remote CPUs
             over the shootdown bus.  The default (1) is byte-identical
             to the pre-SMP simulator.
+        n_shards: Authority shards (VPN-range home shards, see
+            :class:`~repro.os.authority.ShardedAuthority`).  The
+            default (1) is byte-identical to the monolithic authority.
     """
 
     def __init__(
@@ -100,6 +103,7 @@ class Kernel:
         stats: Stats | None = None,
         tracer=None,
         n_cpus: int = 1,
+        n_shards: int = 1,
     ) -> None:
         if model not in MODELS:
             raise ValueError(f"unknown model {model!r}; expected one of {MODELS}")
@@ -110,12 +114,14 @@ class Kernel:
         self.stats = stats if stats is not None else Stats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Shared OS state: the tables every CPU's hardware refills from.
-        self.authority = Authority(
+        self.authority = ShardedAuthority(
             n_frames=n_frames,
             params=params,
             stats=self.stats,
             inverted_table=inverted_table,
+            n_shards=n_shards,
         )
+        self.n_shards = n_shards
         # Historical attribute names alias the authority's containers
         # (same objects, mutated in place) so existing callers — and the
         # injector's authority-corruption site — are untouched.
@@ -259,6 +265,15 @@ class Kernel:
         self.mutation_epoch += 1
         self.stats.inc("kernel.trap")
         self.stats.inc(f"kernel.syscall.{label}")
+
+    def _note_shards(self, vpns) -> None:
+        """Charge a table mutation to the home shard(s) of ``vpns``.
+
+        A no-op (one predictable branch) on a single-shard kernel, so
+        the pinned baseline stats never move.
+        """
+        if self.authority.n_shards > 1:
+            self.authority.note_mutation(vpns)
 
     def _verb_step(self, label: str) -> None:
         """Announce a mutation boundary inside a multi-step verb.
@@ -422,6 +437,7 @@ class Kernel:
             aid=aid,
         )
         self.authority.register_segment(segment)
+        self._note_shards(range(segment.base_vpn, segment.end_vpn))
         if contiguous:
             frames = self.memory.allocate_contiguous(n_pages)
             self._contiguous[segment.seg_id] = frames[0].pfn
@@ -451,6 +467,7 @@ class Kernel:
         self._trap("destroy_segment")
         if segment.seg_id not in self.segments:
             raise KernelError(f"{segment.name} is not a live segment")
+        self._note_shards(range(segment.base_vpn, segment.end_vpn))
         for domain in self.attached_domains(segment):
             self.ops.detach(domain, segment)
         resident = [
@@ -474,6 +491,7 @@ class Kernel:
         self._trap("attach")
         if domain.is_attached(segment.seg_id):
             raise KernelError(f"{domain.name} already attached to {segment.name}")
+        self._note_shards(range(segment.base_vpn, segment.end_vpn))
         with self.tracer.span("kernel.attach", pd=domain.pd_id, seg=segment.seg_id):
             self.ops.attach(domain, segment, rights)
 
@@ -482,6 +500,7 @@ class Kernel:
         self._trap("detach")
         if not domain.is_attached(segment.seg_id):
             raise KernelError(f"{domain.name} is not attached to {segment.name}")
+        self._note_shards(range(segment.base_vpn, segment.end_vpn))
         with self.tracer.span("kernel.detach", pd=domain.pd_id, seg=segment.seg_id):
             self.ops.detach(domain, segment)
 
@@ -489,12 +508,35 @@ class Kernel:
         """Change one domain's rights on one page (others unaffected)."""
         self._trap("set_page_rights")
         self._require_attached(domain, vpn)
+        self._note_shards((vpn,))
         with self.tracer.span("kernel.set_page_rights", pd=domain.pd_id, vpn=vpn):
             self.ops.set_page_rights(domain, vpn, rights)
+
+    def set_pages_rights(self, domain: ProtectionDomain, vpns, rights: Rights) -> None:
+        """Change one domain's rights on a page batch (range verb).
+
+        The range form of :meth:`set_page_rights`: one kernel entry and
+        one range shootdown per remote CPU for the whole VPN set.  This
+        is the verb a DSM range invalidation rides on an SMP node — an
+        M-CPU node pays 1 batched IPI per remote CPU instead of K×M
+        per-page messages.
+        """
+        vpns = tuple(vpns)
+        if not vpns:
+            return
+        self._trap("set_pages_rights")
+        for vpn in vpns:
+            self._require_attached(domain, vpn)
+        self._note_shards(vpns)
+        with self.tracer.span(
+            "kernel.set_pages_rights", pd=domain.pd_id, pages=len(vpns)
+        ):
+            self.ops.set_pages_rights(domain, vpns, rights)
 
     def set_rights_all_domains(self, vpn: int, rights: Rights) -> None:
         """Change every attached domain's rights on one page."""
         self._trap("set_rights_all")
+        self._note_shards((vpn,))
         with self.tracer.span("kernel.set_rights_all", vpn=vpn):
             self.ops.set_rights_all(vpn, rights)
 
@@ -511,6 +553,7 @@ class Kernel:
         if not vpns:
             return
         self._trap("set_rights_all")
+        self._note_shards(vpns)
         with self.tracer.span("kernel.set_rights_all_pages", pages=len(vpns)):
             self.ops.set_rights_all_pages(vpns, rights)
 
@@ -521,6 +564,7 @@ class Kernel:
         self._trap("set_segment_rights")
         if not domain.is_attached(segment.seg_id):
             raise KernelError(f"{domain.name} is not attached to {segment.name}")
+        self._note_shards(range(segment.base_vpn, segment.end_vpn))
         with self.tracer.span(
             "kernel.set_segment_rights", pd=domain.pd_id, seg=segment.seg_id
         ):
@@ -589,6 +633,7 @@ class Kernel:
         """
         self._trap("move_page")
         self._require_pagegroup()
+        self._note_shards((vpn,))
         old = self.group_table.move(vpn, aid)
         self._verb_step("moved")
         if rights is not None:
@@ -609,6 +654,7 @@ class Kernel:
         """
         self._trap("set_page_rights_global")
         self._require_pagegroup()
+        self._note_shards((vpn,))
         self.group_table.set_rights(vpn, rights)
         self.bus.shootdown(
             "set_rights_global",
@@ -630,6 +676,7 @@ class Kernel:
             return {}
         self._trap("move_pages")
         self._require_pagegroup()
+        self._note_shards(vpns)
         old = {vpn: self.group_table.move(vpn, aid) for vpn in vpns}
         self._verb_step("moved")
         if rights is not None:
@@ -657,6 +704,7 @@ class Kernel:
             return
         self._trap("set_page_rights_global")
         self._require_pagegroup()
+        self._note_shards(vpns)
         for vpn in vpns:
             self.group_table.set_rights(vpn, rights)
         self.bus.shootdown_range(
@@ -677,6 +725,7 @@ class Kernel:
             # Guards against resurrection of destroyed segments (e.g. a
             # stale pager record paging a dead address back in).
             raise KernelError(f"page {vpn:#x} is not in any live segment")
+        self._note_shards((vpn,))
         frame = self.memory.allocate(vpn)
         self.translations.map(vpn, frame.pfn)
         self.ops.on_populate(vpn, frame.pfn)
@@ -700,6 +749,7 @@ class Kernel:
         pfn = self.translations.pfn_for(vpn)
         if pfn is None:
             raise KernelError(f"page {vpn:#x} is not resident")
+        self._note_shards((vpn,))
         with self.tracer.span("kernel.unmap_page", vpn=vpn):
             segment = self.segment_at(vpn)
             if segment is not None and segment.seg_id in self._contiguous:
@@ -762,6 +812,7 @@ class Kernel:
             if pfn is None:
                 raise KernelError(f"page {vpn:#x} is not resident")
             frames[vpn] = pfn
+        self._note_shards(vpns)
         with self.tracer.span("kernel.unmap_pages", pages=len(vpns)):
             for vpn, pfn in frames.items():
                 segment = self.segment_at(vpn)
@@ -941,6 +992,12 @@ class ModelOps:
     def set_page_rights(self, domain: ProtectionDomain, vpn: int, rights: Rights) -> None:
         raise NotImplementedError
 
+    def set_pages_rights(
+        self, domain: ProtectionDomain, vpns: tuple[int, ...], rights: Rights
+    ) -> None:
+        """Batched per-domain rights change over a VPN set (range verb)."""
+        raise NotImplementedError
+
     def set_rights_all(self, vpn: int, rights: Rights) -> None:
         raise NotImplementedError
 
@@ -1030,6 +1087,36 @@ class PLBOps(ModelOps):
             return plb.purge_domain_range(pd_id, vpn, vpn + 1)[1]
 
         self.kernel.bus.shootdown("set_page_rights", action)
+
+    def set_pages_rights(
+        self, domain: ProtectionDomain, vpns: tuple[int, ...], rights: Rights
+    ) -> None:
+        # The range form: the domain's overrides are written per page,
+        # but each remote CPU sees ONE message whose sweep updates (or
+        # drops, on superpage configurations) every cached entry for the
+        # batch.
+        for vpn in vpns:
+            domain.page_overrides[vpn] = rights
+        pd_id = domain.pd_id
+        params = self.kernel.params
+
+        def factory(pages, pd_id=pd_id, rights=rights):
+            def action(system):
+                plb = system.plb
+                touched = 0
+                for vpn in pages:
+                    vaddr = params.vaddr(vpn)
+                    if plb.levels == (0,):
+                        touched += plb.update_rights(pd_id, vaddr, rights)
+                    elif min(plb.levels) >= 0:
+                        touched += plb.invalidate(pd_id, vaddr)
+                    else:
+                        touched += plb.purge_domain_range(pd_id, vpn, vpn + 1)[1]
+                return touched
+
+            return action
+
+        self.kernel.bus.shootdown_range("set_pages_rights", vpns, factory)
 
     def set_rights_all(self, vpn: int, rights: Rights) -> None:
         # One PLB entry per domain with access must change (§4.1.3: "the
@@ -1168,6 +1255,29 @@ class PageGroupOps(ModelOps):
             lambda system: int(system.tlb.update(vpn, rights=rights, aid=aid)),
         )
 
+    def set_pages_rights(
+        self, domain: ProtectionDomain, vpns: tuple[int, ...], rights: Rights
+    ) -> None:
+        # The range form of the private-group move: the whole batch
+        # moves to the domain's private group, then one message per
+        # remote CPU rewrites all its resident entries in a single
+        # sweep.
+        aid = self._private_group_for(domain)
+        if not domain.holds_group(aid):
+            entry = domain.grant_group(aid)
+            if self.kernel.system.current_domain == domain.pd_id:
+                self.system.groups.install(entry)
+        for vpn in vpns:
+            self.kernel.group_table.move(vpn, aid)
+            self.kernel.group_table.set_rights(vpn, rights)
+        self.kernel.bus.shootdown_range(
+            "set_pages_rights",
+            vpns,
+            lambda pages: lambda system: system.tlb.update_pages(
+                pages, rights=rights, aid=aid
+            ),
+        )
+
     def set_rights_all(self, vpn: int, rights: Rights) -> None:
         # "The change is easily made in a single TLB entry" (§4.1.2) —
         # one entry per CPU on a multiprocessor.
@@ -1272,6 +1382,23 @@ class ConventionalOps(ModelOps):
         self.kernel.bus.shootdown(
             "set_page_rights",
             lambda system: int(system.tlb.update_rights(asid, vpn, rights)),
+        )
+
+    def set_pages_rights(
+        self, domain: ProtectionDomain, vpns: tuple[int, ...], rights: Rights
+    ) -> None:
+        # One mirror sweep and one range shootdown for the domain's
+        # ASID; the single-domain case dodges §4.1.3's D-message tax.
+        for vpn in vpns:
+            domain.page_overrides[vpn] = rights
+        self._mirror(domain).set_rights_many(vpns, rights)
+        asid = self._asid(domain)
+        self.kernel.bus.shootdown_range(
+            "set_pages_rights",
+            vpns,
+            lambda pages: lambda system: system.tlb.update_rights_pages(
+                asid, pages, rights
+            ),
         )
 
     def set_rights_all(self, vpn: int, rights: Rights) -> None:

@@ -34,8 +34,9 @@ from repro.faults.errors import (
 )
 from repro.os.domain import ProtectionDomain
 from repro.os.kernel import Kernel
+from repro.os.scheduler import AffinityScheduler
 from repro.os.segment import VirtualSegment
-from repro.sim.machine import Machine
+from repro.sim.machine import SMPMachine
 from repro.sim.stats import Stats
 from repro.workloads.tracegen import TraceGenerator
 
@@ -74,7 +75,12 @@ class DSMNode:
     ) -> None:
         self.node_id = node_id
         self.kernel = Kernel(model, **kernel_options)
-        self.machine = Machine(self.kernel)
+        #: The node is an SMP machine, not a bare kernel: one pinned
+        #: Machine per CPU over the shared authority.  ``machine`` stays
+        #: the CPU-0 view, so single-CPU nodes behave (and count)
+        #: exactly as before.
+        self.smp = SMPMachine(self.kernel)
+        self.machine = self.smp.machines[0]
         self.domain: ProtectionDomain = self.kernel.create_domain(f"app@{node_id}")
         # The shared segment sits at the agreed global address.  Only the
         # initial owner's pages get frames eagerly; other nodes populate
@@ -99,6 +105,15 @@ class DSMNode:
         if not populate:
             for vpn in self.segment.vpns():
                 self._set_local_rights(vpn, Rights.NONE)
+        #: Affinity placement: the request domain is pinned to the
+        #: shared segment's shard-home CPU, so its verbs run where the
+        #: authority shard (and the warmed protection cache) lives.
+        #: Construction charges nothing; single-CPU nodes place on 0.
+        self.scheduler = AffinityScheduler(
+            self.kernel,
+            [self.domain],
+            placement={self.domain.pd_id: self.cpu_for(self.segment.base_vpn)},
+        )
 
     def _set_local_rights(self, vpn: int, rights: Rights) -> None:
         """Apply a coherence decision to the local protection state."""
@@ -110,6 +125,43 @@ class DSMNode:
                 kernel.group_table.set_rights(vpn, rights)
         else:
             kernel.set_page_rights(self.domain, vpn, rights)
+
+    def _set_local_rights_range(self, vpns, rights: Rights) -> None:
+        """Apply a coherence decision to a page batch with ONE verb.
+
+        The node-local half of a DSM ``invalidate_range``: one kernel
+        entry and one batched range shootdown per remote CPU, so an
+        M-CPU node pays 1 IPI per remote CPU for the whole set instead
+        of len(vpns)×(M−1) per-page messages.  Single pages keep the
+        exact legacy path (and its counters).
+        """
+        vpns = tuple(vpns)
+        if not vpns:
+            return
+        if len(vpns) == 1:
+            self._set_local_rights(vpns[0], rights)
+            return
+        kernel = self.kernel
+        if kernel.model == "pagegroup":
+            resident = tuple(
+                vpn for vpn in vpns if kernel.translations.is_resident(vpn)
+            )
+            if resident:
+                kernel.set_pages_rights_global(resident, rights)
+            for vpn in vpns:
+                if vpn not in resident:
+                    kernel.group_table.set_rights(vpn, rights)
+        else:
+            kernel.set_pages_rights(self.domain, vpns, rights)
+
+    def cpu_for(self, vpn: int) -> int:
+        """The page's shard-home CPU: authority shard mod CPU count."""
+        return self.kernel.authority.shard_of(vpn) % self.kernel.n_cpus
+
+    def touch_home(self, vaddr: int, access: AccessType) -> object:
+        """One reference routed to the faulting page's shard-home CPU."""
+        vpn = self.kernel.params.vpn(vaddr)
+        return self.smp.touch_on(self.cpu_for(vpn), self.domain, vaddr, access)
 
     def ensure_resident(self, vpn: int) -> None:
         if not self.kernel.translations.is_resident(vpn):

@@ -54,6 +54,13 @@ THRESHOLD = 0.10
 THROUGHPUT_BASELINE = REPO / "benchmarks" / "baselines" / "replay_throughput.json"
 THROUGHPUT_THRESHOLD = 0.25
 
+CLUSTER_SMP_BASELINE = REPO / "benchmarks" / "baselines" / "cluster_smp.json"
+#: Exact equality: the cluster x SMP invalidation workload is
+#: deterministic, so any drift is a real protocol change.
+CLUSTER_SMP_THRESHOLD = 0.0
+#: Node and CPU counts swept on each axis of the N x M matrix.
+CLUSTER_SMP_AXES = (1, 2, 4)
+
 SHOOTDOWN_BASELINE = REPO / "benchmarks" / "baselines" / "shootdown_batched.json"
 #: Exact equality: the group-verb workload is fully deterministic.
 SHOOTDOWN_THRESHOLD = 0.0
@@ -280,6 +287,75 @@ def check_shootdown(current: dict, baseline: dict) -> list[str]:
     return failures
 
 
+def measure_cluster_smp_matrix() -> dict[str, dict]:
+    """Cluster x SMP invalidation costs per model over the N x M sweep.
+
+    Returns ``{model: {"NxM": {"wire_msgs": ..., "holders": ...,
+    "ipi_msgs": ..., "ipi_batches": ...}}}`` for every nodes x cpus
+    combination in ``CLUSTER_SMP_AXES`` squared.  Deterministic, so the
+    committed baseline is checked for exact equality.
+    """
+    from repro.analysis.consistency import measure_cluster_smp
+    from repro.os.kernel import MODELS
+
+    results: dict[str, dict] = {}
+    for model in MODELS:
+        cells = results.setdefault(model, {})
+        for nodes in CLUSTER_SMP_AXES:
+            for cpus in CLUSTER_SMP_AXES:
+                cost = measure_cluster_smp(model, nodes=nodes, cpus=cpus)
+                cells[f"{nodes}x{cpus}"] = {
+                    "wire_msgs": cost.wire_msgs,
+                    "holders": cost.holders,
+                    "ipi_msgs": cost.ipi_msgs,
+                    "ipi_batches": cost.ipi_batches,
+                }
+    return results
+
+
+def check_cluster_smp(current: dict, baseline: dict) -> list[str]:
+    """Exact-match every pinned cluster x SMP cell; enforce the floors.
+
+    Floors bind regardless of the baseline: every node-local IPI must be
+    part of a batched range shootdown (``ipi_msgs == ipi_batches`` — a
+    per-page fan-out multiplies msgs without multiplying batches), and a
+    multi-node invalidation must cost exactly one request/reply pair per
+    holder node on the wire (``wire_msgs == 2 * holders``).
+    """
+    failures = []
+    for model, cells in baseline.items():
+        if not isinstance(cells, dict):
+            failures.append(
+                f"{model}: malformed baseline cell {cells!r} "
+                "(expected a scale -> counter mapping)"
+            )
+            continue
+        for scale, cell in cells.items():
+            now = current.get(model, {}).get(scale)
+            if now is None:
+                failures.append(f"{model} @ {scale}: missing from current run")
+            elif now != cell:
+                failures.append(
+                    f"{model} @ {scale}: {cell!r} -> {now!r} "
+                    "(deterministic counter drifted)"
+                )
+    for model, cells in current.items():
+        for scale, now in sorted(cells.items()):
+            if now["ipi_msgs"] != now["ipi_batches"]:
+                failures.append(
+                    f"{model} @ {scale}: {now['ipi_msgs']} IPIs but only "
+                    f"{now['ipi_batches']} batches (per-page fan-out crept "
+                    "back in)"
+                )
+            if now["holders"] and now["wire_msgs"] != 2 * now["holders"]:
+                failures.append(
+                    f"{model} @ {scale}: {now['wire_msgs']} wire msgs for "
+                    f"{now['holders']} holders (expected one request/reply "
+                    "pair per holder)"
+                )
+    return failures
+
+
 def check(current: dict, baseline: dict) -> list[str]:
     """Return one failure line per regressed, missing, or malformed cell.
 
@@ -332,9 +408,19 @@ def main(argv=None) -> int:
         help="guard batched range-shootdown counters (exact equality) "
         "instead of Table 1 cycles",
     )
+    parser.add_argument(
+        "--cluster-smp", action="store_true",
+        help="guard the cluster x SMP invalidation matrix (exact "
+        "equality plus batched fan-out floors) instead of Table 1 cycles",
+    )
     parser.add_argument("--baseline", default=None)
     args = parser.parse_args(argv)
-    if args.shootdown:
+    if args.cluster_smp:
+        default_path, key, measurer, checker, threshold = (
+            CLUSTER_SMP_BASELINE, "cluster_smp", measure_cluster_smp_matrix,
+            check_cluster_smp, CLUSTER_SMP_THRESHOLD,
+        )
+    elif args.shootdown:
         default_path, key, measurer, checker, threshold = (
             SHOOTDOWN_BASELINE, "shootdown", measure_shootdown,
             check_shootdown, SHOOTDOWN_THRESHOLD,
@@ -382,6 +468,26 @@ def main(argv=None) -> int:
 
     current = measurer()
     failures = checker(current, baseline)
+    if args.cluster_smp:
+        if failures:
+            print(f"cluster-smp regression: {len(failures)} check(s) failed:")
+            for line in failures:
+                print("  " + line)
+            return 1
+        top = f"{CLUSTER_SMP_AXES[-1]}x{CLUSTER_SMP_AXES[-1]}"
+        for model in sorted(current):
+            cell = current[model][top]
+            print(
+                f"cluster-smp: {model} @ {top}: {cell['wire_msgs']} wire "
+                f"msgs ({cell['holders']} holders), {cell['ipi_msgs']} IPIs "
+                f"in {cell['ipi_batches']} batches"
+            )
+        cells = sum(len(scales) for scales in baseline.values())
+        print(
+            f"cluster-smp regression: all {cells} pinned cells match "
+            "exactly (fan-out stayed batched, one req/reply per holder)"
+        )
+        return 0
     if args.shootdown:
         if failures:
             print(f"shootdown regression: {len(failures)} check(s) failed:")
